@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ */
+
+#ifndef TENGIG_BENCH_BENCH_UTIL_HH
+#define TENGIG_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "nic/controller.hh"
+
+namespace tengig {
+namespace bench {
+
+/** Default measurement windows. */
+constexpr Tick warmupTicks = 2 * tickPerMs;  //!< reach steady state
+constexpr Tick measureTicks = 4 * tickPerMs;
+
+/** Frames processed per direction in a result window. */
+inline double
+framesPerDirection(const NicResults &r)
+{
+    return 0.5 * (static_cast<double>(r.txFrames) +
+                  static_cast<double>(r.rxFrames));
+}
+
+/** Per-frame profile row for one function bucket. */
+struct ProfileRow
+{
+    double instructions;
+    double memAccesses;
+    double cycles;
+};
+
+/**
+ * Normalize a bucket to per-frame-of-its-direction values.
+ * Send-side buckets divide by transmitted frames, receive-side by
+ * received frames.
+ */
+inline ProfileRow
+perFrame(const NicResults &r, FuncTag tag)
+{
+    bool tx = tag == FuncTag::FetchSendBd || tag == FuncTag::SendFrame ||
+              tag == FuncTag::SendDispatch || tag == FuncTag::SendLock;
+    double frames = tx ? static_cast<double>(r.txFrames)
+                       : static_cast<double>(r.rxFrames);
+    const auto &b = r.profile[tag];
+    if (frames <= 0)
+        return {0, 0, 0};
+    return {b.instructions / frames, b.memAccesses / frames,
+            b.cycles / frames};
+}
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n=== %s ===\n", title);
+}
+
+} // namespace bench
+} // namespace tengig
+
+#endif // TENGIG_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 3: collective cache hit ratio of per-processor coherent
+ * caches on NIC control data, versus cache capacity.
+ *
+ * Reproduces the paper's SMPCache study: control-data access traces
+ * captured from the live 6-core frame-level simulation drive 8
+ * fully-associative caches (6 cores, interleaved DMA pair, interleaved
+ * MAC pair) with 16-byte lines under MESI, sweeping capacity from 16 B
+ * to 32 KB.  The paper's findings: the hit ratio never exceeds ~55%,
+ * and fewer than 1% of writes invalidate another cache -- caching
+ * fails for lack of locality, not because of invalidation traffic.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "src/coherence/trace_capture.hh"
+
+using namespace tengig;
+using namespace tengig::coherence;
+
+int
+main()
+{
+    std::printf("\n=== Figure 3: cache hit ratio for the 6-core "
+                "configuration with MESI coherence ===\n");
+
+    NicConfig cfg;
+    cfg.cores = 6;
+    cfg.cpuMhz = 200.0;
+    NicController nic(cfg);
+    Trace trace = captureControlTrace(nic, tickPerMs,
+                                      2 * tickPerMs);
+    std::printf("captured %zu control-data accesses from the live "
+                "firmware run\n\n", trace.size());
+
+    std::printf("%-10s | %-10s | %-22s\n", "Cache size", "Hit ratio",
+                "Invalidating writes");
+    std::printf("%.*s\n", 50,
+                "--------------------------------------------------");
+
+    double max_ratio = 0.0;
+    for (std::size_t bytes = 16; bytes <= 32 * 1024; bytes *= 2) {
+        CoherentCacheSystem sys(8, bytes, 16, Protocol::MESI);
+        sys.run(trace);
+        double ratio = sys.stats().hitRatio();
+        max_ratio = std::max(max_ratio, ratio);
+        char label[32];
+        if (bytes >= 1024)
+            std::snprintf(label, sizeof(label), "%zuKB", bytes / 1024);
+        else
+            std::snprintf(label, sizeof(label), "%zuB", bytes);
+        std::printf("%-10s | %8.1f%%  | %8.2f%%\n", label,
+                    100.0 * ratio,
+                    100.0 * sys.stats().invalidatingWriteRatio());
+    }
+
+    std::printf("\nPeak collective hit ratio: %.1f%% (paper: never "
+                "above ~55%%; low locality, not\ninvalidations, defeats "
+                "caching -- hence the program-managed scratchpad).\n",
+                100.0 * max_ratio);
+    return 0;
+}

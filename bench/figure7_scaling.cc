@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 7: full-duplex UDP throughput while scaling core frequency
+ * and the number of processors (maximum-sized 1472 B datagrams,
+ * 4 scratchpad banks, software-only firmware).
+ *
+ * Paper shape: 1-2 cores are far from line rate at any embedded
+ * frequency; 4 cores get close; 6 and 8 cores reach (within a few
+ * percent of) the 19.14 Gb/s duplex Ethernet limit by 175-200 MHz,
+ * while a single core would need ~800 MHz.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace tengig;
+using namespace tengig::bench;
+
+namespace {
+
+double
+throughput(unsigned cores, double mhz)
+{
+    NicConfig cfg;
+    cfg.cores = cores;
+    cfg.cpuMhz = mhz;
+    NicController nic(cfg);
+    return nic.run(warmupTicks, measureTicks).totalUdpGbps;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 7: scaling core frequency and processor count "
+                "(duplex UDP Gb/s)");
+
+    const double freqs[] = {100, 125, 150, 166, 175, 200};
+    const unsigned core_counts[] = {1, 2, 4, 6, 8};
+    const double limit = 2 * lineRateUdpGbps(udpMaxPayloadBytes);
+
+    std::printf("%-10s", "MHz");
+    for (unsigned c : core_counts)
+        std::printf(" %6u-core", c);
+    std::printf("\n%.*s\n", 10 + 11 * 5,
+                "-------------------------------------------------------"
+                "-----------");
+    for (double f : freqs) {
+        std::printf("%-10.0f", f);
+        for (unsigned c : core_counts)
+            std::printf(" %11.2f", throughput(c, f));
+        std::printf("\n");
+    }
+    std::printf("%-10s %11.2f  <- Ethernet limit (duplex)\n", "", limit);
+
+    // The paper's single-core anchor: line rate needs ~800 MHz.
+    std::printf("\nSingle core at high frequency: 400 MHz -> %.2f, "
+                "600 MHz -> %.2f, 800 MHz -> %.2f Gb/s\n",
+                throughput(1, 400), throughput(1, 600),
+                throughput(1, 800));
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 1: average instructions and data accesses to send and receive
+ * one Ethernet frame (ideal firmware, no parallelization overheads).
+ *
+ * Run on a single core in ideal mode (no locks, no ordering flags),
+ * processing full-duplex maximum-sized frames.  The paper's prose pins
+ * the aggregates this table must satisfy: at the 812,744 frames/s line
+ * rate, sending requires 229 MIPS + 2.6 Gb/s of data accesses and
+ * receiving 206 MIPS + 2.2 Gb/s, for a total of 435 MIPS and 4.8 Gb/s
+ * of control bandwidth (plus 39.5 Gb/s of frame-data bandwidth).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace tengig;
+using namespace tengig::bench;
+
+int
+main()
+{
+    printHeader("Table 1: ideal per-frame task requirements");
+
+    NicConfig cfg;
+    cfg.cores = 1;
+    cfg.cpuMhz = 800.0; // enough compute to keep the ideal run busy
+    cfg.firmware.idealMode = true;
+    NicController nic(cfg);
+    NicResults r = nic.run(warmupTicks, measureTicks);
+
+    std::printf("%-30s | %14s | %14s\n", "Function", "Instructions",
+                "Data Accesses");
+    std::printf("%.*s\n", 66,
+                "----------------------------------------------------"
+                "--------------");
+    const FuncTag rows[] = {FuncTag::FetchSendBd, FuncTag::SendFrame,
+                            FuncTag::FetchRecvBd, FuncTag::RecvFrame};
+    double send_instr = 0, send_mem = 0, recv_instr = 0, recv_mem = 0;
+    for (FuncTag t : rows) {
+        ProfileRow p = perFrame(r, t);
+        std::printf("%-30s | %14.2f | %14.2f\n", funcTagName(t),
+                    p.instructions, p.memAccesses);
+        if (t == FuncTag::FetchSendBd || t == FuncTag::SendFrame) {
+            send_instr += p.instructions;
+            send_mem += p.memAccesses;
+        } else {
+            recv_instr += p.instructions;
+            recv_mem += p.memAccesses;
+        }
+    }
+
+    const double fps = lineRateFps(ethMaxFrameBytes);
+    std::printf("\nDerived requirements at the %.0f frames/s line "
+                "rate:\n", fps);
+    std::printf("  send:    %6.1f MIPS (paper 229), %4.2f Gb/s data "
+                "(paper 2.6)\n", send_instr * fps / 1e6,
+                send_mem * fps * 32 / 1e9);
+    std::printf("  receive: %6.1f MIPS (paper 206), %4.2f Gb/s data "
+                "(paper 2.2)\n", recv_instr * fps / 1e6,
+                recv_mem * fps * 32 / 1e9);
+    std::printf("  total:   %6.1f MIPS (paper 435), %4.2f Gb/s data "
+                "(paper 4.8)\n",
+                (send_instr + recv_instr) * fps / 1e6,
+                (send_mem + recv_mem) * fps * 32 / 1e9);
+    std::printf("  frame-data bandwidth consumed: %.1f Gb/s (paper "
+                "39.5 required)\n", r.sdramGbps);
+    return 0;
+}

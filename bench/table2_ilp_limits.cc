@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Table 2: theoretical peak IPCs of NIC firmware for different
+ * processor configurations.
+ *
+ * Reproduces the paper's offline limit study on a firmware-shaped
+ * dynamic instruction trace.  The trends to match:
+ *  - for in-order cores, eliminating pipeline hazards matters more
+ *    than branch prediction;
+ *  - for out-of-order cores, branch prediction matters more than
+ *    eliminating hazards;
+ *  - a 2-wide out-of-order core with single-branch prediction only
+ *    doubles the 1-wide in-order core's IPC, at far higher complexity;
+ *  - wider issue shows strongly diminishing returns.
+ */
+
+#include <cstdio>
+
+#include "src/ilp/ilp_analyzer.hh"
+#include "src/mips/kernels.hh"
+
+using namespace tengig;
+using namespace tengig::ilp;
+
+int
+main()
+{
+    std::printf("\n=== Table 2: theoretical peak IPCs of NIC firmware "
+                "===\n");
+
+    // Primary trace: dynamic execution of the firmware's inner-loop
+    // kernels written in the MIPS R4000 subset and run on the
+    // functional machine -- the paper's methodology.  The statistical
+    // generator provides a second, independently shaped trace as a
+    // robustness check below.
+    InstrTrace trace = mips::firmwareKernelTrace(300000);
+    std::printf("(dynamic trace: %zu instructions from MIPS-subset "
+                "firmware kernels)\n", trace.size());
+
+    const unsigned widths[] = {1, 2, 4, 8, 16};
+    std::printf("%-6s %-6s | %8s %8s | %8s %8s %8s\n", "Issue",
+                "Width", "PerfPBP", "PerfNoBP", "StallPBP", "StallPBP1",
+                "StallNoBP");
+    std::printf("%.*s\n", 70,
+                "----------------------------------------------------"
+                "------------------");
+
+    auto ipc = [&](bool in_order, unsigned w, bool perfect_pipe,
+                   BranchModel bm) {
+        IlpConfig cfg;
+        cfg.inOrder = in_order;
+        cfg.width = w;
+        cfg.perfectPipeline = perfect_pipe;
+        cfg.branch = bm;
+        return analyzeIpc(trace, cfg);
+    };
+
+    double io1_stall_nobp = 0, ooo2_stall_pbp1 = 0;
+    for (bool in_order : {true, false}) {
+        for (unsigned w : widths) {
+            double perf_pbp = ipc(in_order, w, true,
+                                  BranchModel::Perfect);
+            double perf_nobp = ipc(in_order, w, true, BranchModel::None);
+            double stall_pbp = ipc(in_order, w, false,
+                                   BranchModel::Perfect);
+            double stall_pbp1 = ipc(in_order, w, false,
+                                    BranchModel::PBP1);
+            double stall_nobp = ipc(in_order, w, false,
+                                    BranchModel::None);
+            std::printf("%-6s %-6u | %8.2f %8.2f | %8.2f %8.2f %8.2f\n",
+                        in_order ? "IO" : "OOO", w, perf_pbp, perf_nobp,
+                        stall_pbp, stall_pbp1, stall_nobp);
+            if (in_order && w == 1)
+                io1_stall_nobp = stall_nobp;
+            if (!in_order && w == 2)
+                ooo2_stall_pbp1 = stall_pbp1;
+        }
+    }
+
+    std::printf("\nPaper's cost-benefit anchor: a 2-wide OOO core with "
+                "1-branch prediction achieves\n%.2fx the IPC of the "
+                "simple 1-wide in-order core (paper: ~2x at much higher "
+                "complexity).\n", ooo2_stall_pbp1 / io1_stall_nobp);
+    std::printf("1-wide in-order, stalls, no BP: %.2f IPC (the paper's "
+                "chosen core sustains 83%%\nof this bound at line rate; "
+                "see Table 3).\n", io1_stall_nobp);
+
+    // Robustness check on the statistically generated trace.
+    InstrTrace synth = generateFirmwareTrace(TraceGenConfig{});
+    IlpConfig c1;
+    c1.inOrder = true;
+    c1.width = 1;
+    c1.perfectPipeline = false;
+    c1.branch = BranchModel::None;
+    IlpConfig c2 = c1;
+    c2.inOrder = false;
+    c2.width = 2;
+    c2.branch = BranchModel::PBP1;
+    std::printf("\nStatistical-trace cross-check: IO1/noBP %.2f IPC, "
+                "OOO2/PBP1 %.2f IPC (ratio %.2fx).\n",
+                analyzeIpc(synth, c1), analyzeIpc(synth, c2),
+                analyzeIpc(synth, c2) / analyzeIpc(synth, c1));
+    return 0;
+}

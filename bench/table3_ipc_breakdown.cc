@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 3: breakdown of computation bandwidth in instructions per
+ * cycle per core, for six cores at 200 MHz at line rate.
+ *
+ * Paper values: execution 0.72, instruction-miss stalls 0.01, load
+ * stalls 0.12, scratchpad conflict stalls 0.05, pipeline stalls 0.10
+ * (total 1.00); the cores sustain 83% of the in-order/no-BP
+ * theoretical bound of Table 2.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace tengig;
+using namespace tengig::bench;
+
+int
+main()
+{
+    printHeader("Table 3: per-core IPC breakdown (6 cores @ 200 MHz)");
+
+    NicConfig cfg;
+    cfg.cores = 6;
+    cfg.cpuMhz = 200.0;
+    NicController nic(cfg);
+    NicResults r = nic.run(warmupTicks, measureTicks);
+
+    const CoreStats &s = r.coreTotals;
+    double total = static_cast<double>(s.totalCycles());
+    auto frac = [&](std::uint64_t v) {
+        return static_cast<double>(v) / total;
+    };
+
+    std::printf("%-28s | %10s | %10s\n", "Component", "measured",
+                "paper");
+    std::printf("%.*s\n", 54,
+                "------------------------------------------------------");
+    std::printf("%-28s | %10.2f | %10.2f\n", "Execution",
+                frac(s.executeCycles), 0.72);
+    std::printf("%-28s | %10.2f | %10.2f\n", "Instruction miss stalls",
+                frac(s.imissCycles), 0.01);
+    std::printf("%-28s | %10.2f | %10.2f\n", "Load stalls",
+                frac(s.loadStallCycles), 0.12);
+    std::printf("%-28s | %10.2f | %10.2f\n", "Scratchpad conflict stalls",
+                frac(s.conflictCycles), 0.05);
+    std::printf("%-28s | %10.2f | %10.2f\n", "Pipeline stalls",
+                frac(s.pipelineCycles), 0.10);
+    std::printf("%-28s | %10.2f | %10s\n", "Idle",
+                frac(s.idleCycles), "--");
+    std::printf("%-28s | %10.2f | %10.2f\n", "Total", 1.0, 1.00);
+
+    std::printf("\nPer-core IPC: %.3f (paper: 0.72); throughput %.2f "
+                "Gb/s duplex at %.0f%% of line rate.\n",
+                r.aggregateIpc / cfg.cores, r.totalUdpGbps,
+                100.0 * r.totalUdpGbps /
+                    (2 * lineRateUdpGbps(udpMaxPayloadBytes)));
+    return 0;
+}

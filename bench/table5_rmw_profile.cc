@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Table 5: execution profiles comparing frame-ordering methods.
+ *
+ * Prints per-packet instruction and memory-access counts for every
+ * firmware function under three configurations: ideal (single core, no
+ * parallelization overhead -- Table 1's reference), software-only
+ * lock-based ordering, and RMW-enhanced ordering, all processing
+ * maximum-sized frames.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.hh"
+
+using namespace tengig;
+using namespace tengig::bench;
+
+namespace {
+
+NicResults
+runConfig(bool ideal, bool rmw)
+{
+    NicConfig cfg;
+    cfg.cores = ideal ? 1 : 6;
+    cfg.cpuMhz = 200.0;
+    cfg.firmware.idealMode = ideal;
+    cfg.firmware.rmwEnhanced = rmw;
+    NicController nic(cfg);
+    NicResults r = nic.run(warmupTicks, measureTicks);
+    if (std::getenv("TENGIG_DIAG")) {
+        const FwState &st = nic.firmwareState();
+        double f = framesPerDirection(r);
+        std::printf("[diag %s] per-frame invocations: fsbd %.3f sf %.3f "
+                    "ptxd %.3f txcommit %.3f (%.2f fr/pass) ptxc %.3f | "
+                    "frbd %.3f rf %.3f prxd %.3f rxcommit %.3f "
+                    "(%.2f fr/pass)\n",
+                    ideal ? "ideal" : (rmw ? "rmw" : "sw"),
+                    st.invFetchSendBd / f, st.invSendFrame / f,
+                    st.invProcessTxDma / f, st.invTxCommitPasses / f,
+                    st.invTxCommitPasses
+                        ? double(st.invTxCommitted) / st.invTxCommitPasses
+                        : 0.0,
+                    st.invProcessTxComplete / f, st.invFetchRecvBd / f,
+                    st.invRecvFrame / f, st.invProcessRxDma / f,
+                    st.invRxCommitPasses / f,
+                    st.invRxCommitPasses
+                        ? double(st.invRxCommitted) / st.invRxCommitPasses
+                        : 0.0);
+        for (unsigned l = 0; l < numFwLocks; ++l)
+            std::printf("[diag] lock %u acquires/frame %.3f "
+                        "spins/frame %.3f\n", l,
+                        st.lockAcquires[l] / (2 * f),
+                        st.lockSpins[l] / (2 * f));
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Table 5: execution profiles comparing frame-ordering "
+                "methods (per packet)");
+
+    NicResults ideal = runConfig(true, false);
+    NicResults sw = runConfig(false, false);
+    NicResults rmw = runConfig(false, true);
+
+    std::printf("%-30s | %21s | %21s\n", "",
+                "Instructions per Packet", "Mem Accesses per Packet");
+    std::printf("%-30s | %6s %7s %7s | %6s %7s %7s\n", "Function",
+                "Ideal", "SWonly", "RMW", "Ideal", "SWonly", "RMW");
+    std::printf("%.*s\n", 102,
+                "-----------------------------------------------------"
+                "---------------------------------------------------");
+
+    const FuncTag rows[] = {
+        FuncTag::FetchSendBd, FuncTag::SendFrame, FuncTag::SendDispatch,
+        FuncTag::SendLock, FuncTag::FetchRecvBd, FuncTag::RecvFrame,
+        FuncTag::RecvDispatch, FuncTag::RecvLock,
+    };
+    double sw_ord[2] = {0, 0}, rmw_ord[2] = {0, 0};
+    double sw_ord_mem[2] = {0, 0}, rmw_ord_mem[2] = {0, 0};
+    for (FuncTag t : rows) {
+        ProfileRow i = perFrame(ideal, t);
+        ProfileRow s = perFrame(sw, t);
+        ProfileRow m = perFrame(rmw, t);
+        std::printf("%-30s | %6.1f %7.1f %7.1f | %6.1f %7.1f %7.1f\n",
+                    funcTagName(t), i.instructions, s.instructions,
+                    m.instructions, i.memAccesses, s.memAccesses,
+                    m.memAccesses);
+        if (t == FuncTag::SendDispatch) {
+            sw_ord[0] = s.instructions;
+            rmw_ord[0] = m.instructions;
+            sw_ord_mem[0] = s.memAccesses;
+            rmw_ord_mem[0] = m.memAccesses;
+        }
+        if (t == FuncTag::RecvDispatch) {
+            sw_ord[1] = s.instructions;
+            rmw_ord[1] = m.instructions;
+            sw_ord_mem[1] = s.memAccesses;
+            rmw_ord_mem[1] = m.memAccesses;
+        }
+    }
+
+    std::printf("\nRMW effect on dispatch-and-ordering (paper: "
+                "-51.5%% send / -30.8%% recv instructions,\n"
+                "-65.0%% / -35.2%% memory accesses):\n");
+    std::printf("  send: instructions %+.1f%%, accesses %+.1f%%\n",
+                100.0 * (rmw_ord[0] - sw_ord[0]) / sw_ord[0],
+                100.0 * (rmw_ord_mem[0] - sw_ord_mem[0]) / sw_ord_mem[0]);
+    std::printf("  recv: instructions %+.1f%%, accesses %+.1f%%\n",
+                100.0 * (rmw_ord[1] - sw_ord[1]) / sw_ord[1],
+                100.0 * (rmw_ord_mem[1] - sw_ord_mem[1]) / sw_ord_mem[1]);
+
+    std::printf("\nThroughput check: SW %.2f Gb/s, RMW %.2f Gb/s "
+                "(duplex limit %.2f)\n",
+                sw.totalUdpGbps, rmw.totalUdpGbps,
+                2 * lineRateUdpGbps(udpMaxPayloadBytes));
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Firmware organization comparison: the paper's three designs side by
+ * side on identical hardware.
+ *
+ *  1. task-level parallelism with the Tigon-II event register (Fig. 4)
+ *  2. frame-level parallelism, software-only ordering (Fig. 5)
+ *  3. frame-level parallelism, RMW-enhanced ordering (set/update)
+ *
+ * For each, reports duplex throughput, per-core IPC, and lock
+ * behavior while scaling core count -- reproducing the argument of
+ * Sections 3 and 6.3 in one runnable program.
+ */
+
+#include <cstdio>
+
+#include "nic/controller.hh"
+
+using namespace tengig;
+
+namespace {
+
+struct Row
+{
+    double gbps;
+    double ipc;
+    std::uint64_t spins;
+};
+
+Row
+runOne(unsigned cores, bool task_level, bool rmw)
+{
+    NicConfig cfg;
+    cfg.cores = cores;
+    cfg.cpuMhz = 200.0;
+    cfg.taskLevelFirmware = task_level;
+    cfg.firmware.rmwEnhanced = rmw;
+    NicController nic(cfg);
+    NicResults r = nic.run(2 * tickPerMs, 3 * tickPerMs);
+    std::uint64_t spins = 0;
+    for (unsigned l = 0; l < numFwLocks; ++l)
+        spins += nic.firmwareState().lockSpins[l];
+    return Row{r.totalUdpGbps, r.aggregateIpc / cores, spins};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Firmware organizations on identical hardware "
+                "(200 MHz cores, 4 banks, duplex\n10 GbE, limit "
+                "19.14 Gb/s):\n\n");
+    std::printf("%-6s | %-22s | %-22s | %-22s\n", "",
+                "task-level (Fig. 4)", "frame-level SW (Fig. 5)",
+                "frame-level RMW");
+    std::printf("%-6s | %10s %11s | %10s %11s | %10s %11s\n", "Cores",
+                "Gb/s", "IPC", "Gb/s", "IPC", "Gb/s", "IPC");
+    std::printf("%.*s\n", 80,
+                "--------------------------------------------------------"
+                "------------------------");
+    for (unsigned cores : {1u, 2u, 4u, 6u, 8u}) {
+        Row tl = runOne(cores, true, false);
+        Row sw = runOne(cores, false, false);
+        Row rmw = runOne(cores, false, true);
+        std::printf("%-6u | %10.2f %11.3f | %10.2f %11.3f | %10.2f "
+                    "%11.3f\n", cores, tl.gbps, tl.ipc, sw.gbps, sw.ipc,
+                    rmw.gbps, rmw.ipc);
+    }
+
+    std::printf("\nWhat to look for:\n"
+                " - task-level throughput flattens (one core per event "
+                "type: Section 3.2);\n"
+                " - frame-level scales to line rate by 6 cores;\n"
+                " - at the same core count, the RMW firmware leaves "
+                "more idle headroom, which is\n"
+                "   why the paper runs it 17%% slower (166 MHz) at "
+                "equal throughput.\n");
+    return 0;
+}

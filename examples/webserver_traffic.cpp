@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Web-server scenario: the asymmetric traffic mix the paper's
+ * introduction motivates (a network server feeding a 10 Gb/s link).
+ *
+ * The server transmits large response frames at full backlog while
+ * receiving a lighter stream of small request/ACK frames -- unlike the
+ * symmetric saturation workloads of the evaluation section.  The
+ * example reports how the firmware's cycle budget redistributes
+ * between the send and receive paths under this mix.
+ */
+
+#include <cstdio>
+
+#include "nic/controller.hh"
+
+using namespace tengig;
+
+namespace {
+
+void
+runMix(const char *name, unsigned tx_payload, unsigned rx_payload,
+       double rx_rate)
+{
+    NicConfig cfg;
+    cfg.cores = 6;
+    cfg.cpuMhz = 200.0;
+    cfg.txPayloadBytes = tx_payload;
+    cfg.rxPayloadBytes = rx_payload;
+    cfg.rxOfferedRate = rx_rate;
+    NicController nic(cfg);
+    NicResults r = nic.run(2 * tickPerMs, 4 * tickPerMs);
+
+    double send_cycles = 0, recv_cycles = 0;
+    const FuncTag send_tags[] = {FuncTag::FetchSendBd, FuncTag::SendFrame,
+                                 FuncTag::SendDispatch, FuncTag::SendLock};
+    const FuncTag recv_tags[] = {FuncTag::FetchRecvBd, FuncTag::RecvFrame,
+                                 FuncTag::RecvDispatch, FuncTag::RecvLock};
+    for (FuncTag t : send_tags)
+        send_cycles += static_cast<double>(r.profile[t].cycles);
+    for (FuncTag t : recv_tags)
+        recv_cycles += static_cast<double>(r.profile[t].cycles);
+    double total = static_cast<double>(r.coreTotals.totalCycles());
+
+    std::printf("%-24s | tx %5.2f Gb/s @%7.0f f/s | rx %5.2f Gb/s "
+                "@%7.0f f/s | cycles: send %4.1f%% recv %4.1f%% idle "
+                "%4.1f%% | errors %llu\n",
+                name, r.txUdpGbps, r.txFps, r.rxUdpGbps, r.rxFps,
+                100.0 * send_cycles / total, 100.0 * recv_cycles / total,
+                100.0 * r.coreTotals.idleCycles / total,
+                static_cast<unsigned long long>(r.errors));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Web-server traffic mixes on the 6-core 200 MHz NIC "
+                "(duplex 10 GbE):\n\n");
+    // Static-content server: big responses out, sparse small requests
+    // in (requests ~512B at 10%% of small-frame line rate).
+    runMix("content server", 1472, 466, 0.10);
+    // API server: medium responses, steady small queries.
+    runMix("api server", 700, 200, 0.25);
+    // Bulk ingest (log collector): small ACKs out... inverted mix.
+    runMix("ingest (rx-heavy)", 100, 1472, 1.0);
+    // Symmetric bulk transfer for reference (the paper's workload).
+    runMix("bulk duplex (paper)", 1472, 1472, 1.0);
+
+    std::printf("\nThe firmware's frame-level organization lets idle "
+                "send-path cores absorb receive\nwork (and vice versa) "
+                "without static task assignment -- the cycle split "
+                "above follows\nthe traffic mix, not the core count.\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+#include "dma_assist.hh"
+
+namespace tengig {
+
+DmaAssist::DmaAssist(EventQueue &eq, const ClockDomain &cpu_domain,
+                     Scratchpad &spad_, GddrSdram &sdram_,
+                     HostMemory &host_, unsigned spad_requester,
+                     unsigned sdram_requester, unsigned fifo_depth)
+    : Clocked(eq, cpu_domain), spad(spad_), sdram(sdram_), host(host_),
+      spadRequester(spad_requester), sdramRequester(sdram_requester),
+      fifoDepth(fifo_depth)
+{}
+
+bool
+DmaAssist::push(DmaCommand cmd)
+{
+    if (full())
+        return false;
+    queue.push_back(std::move(cmd));
+    if (!busy)
+        startNext();
+    return true;
+}
+
+void
+DmaAssist::startNext()
+{
+    if (queue.empty()) {
+        busy = false;
+        return;
+    }
+    busy = true;
+    DmaCommand &cmd = queue.front();
+    bytes += cmd.len;
+
+    switch (cmd.kind) {
+      case DmaCommand::Kind::HostToSdram:
+        // Functional copy at completion keeps SDRAM contents exact.
+        sdram.request(sdramRequester, cmd.localAddr, cmd.len, true,
+                      [this] {
+                          DmaCommand &c = queue.front();
+                          sdram.writeBytes(c.localAddr,
+                                           host.data(c.hostAddr), c.len);
+                          finishCurrent();
+                      });
+        return;
+
+      case DmaCommand::Kind::SdramToHost:
+        sdram.request(sdramRequester, cmd.localAddr, cmd.len, false,
+                      [this] {
+                          DmaCommand &c = queue.front();
+                          sdram.readBytes(c.localAddr,
+                                          host.data(c.hostAddr), c.len);
+                          finishCurrent();
+                      });
+        return;
+
+      case DmaCommand::Kind::HostToSpad:
+      case DmaCommand::Kind::SpadToHost:
+        spadWordLoop(cmd.hostAddr, cmd.localAddr, cmd.len,
+                     cmd.kind == DmaCommand::Kind::HostToSpad);
+        return;
+    }
+    panic("unreachable dma command kind");
+}
+
+void
+DmaAssist::spadWordLoop(Addr host_addr, Addr local, std::size_t remaining,
+                        bool to_spad)
+{
+    if (remaining == 0) {
+        finishCurrent();
+        return;
+    }
+    std::size_t chunk = std::min<std::size_t>(4, remaining);
+    if (to_spad) {
+        // Move the word functionally now (DES events are atomic) and
+        // charge the crossbar write.
+        std::uint32_t word = 0;
+        host.read(host_addr, &word, chunk);
+        spad.storage().storeWord(local, word);
+        spad.access(spadRequester, local, SpadOp::WriteTiming, 0,
+                    [this, host_addr, local, remaining, chunk,
+                     to_spad](const Scratchpad::Response &) {
+                        spadWordLoop(host_addr + chunk, local + chunk,
+                                     remaining - chunk, to_spad);
+                    });
+    } else {
+        std::uint32_t word = spad.storage().loadWord(local);
+        host.write(host_addr, &word, chunk);
+        spad.access(spadRequester, local, SpadOp::Read, 0,
+                    [this, host_addr, local, remaining, chunk,
+                     to_spad](const Scratchpad::Response &) {
+                        spadWordLoop(host_addr + chunk, local + chunk,
+                                     remaining - chunk, to_spad);
+                    });
+    }
+}
+
+void
+DmaAssist::finishCurrent()
+{
+    DmaCommand cmd = std::move(queue.front());
+    queue.pop_front();
+    ++completed;
+    if (cmd.done)
+        cmd.done();
+    startNext();
+}
+
+} // namespace tengig

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * DMA hardware assists (Fig. 6: the PCI-interface data movers).
+ *
+ * The read assist moves data from host memory into the NIC (buffer
+ * descriptors into the scratchpad, frame contents into the SDRAM
+ * transmit buffer); the write assist moves data out (received frames
+ * from SDRAM into host buffers, completion descriptors from the
+ * scratchpad to host rings).  Each assist processes a command FIFO
+ * strictly in order -- completion order equals programming order, which
+ * the firmware's event processing relies on.
+ *
+ * Host-interconnect bandwidth/latency is intentionally untimed (the
+ * paper's §5); the NIC-side costs are fully modeled: SDRAM bursts go
+ * through the shared 128-bit internal bus, and scratchpad transfers
+ * move one 32-bit word per CPU cycle through the crossbar, where they
+ * contend with the processor cores.
+ */
+
+#ifndef TENGIG_ASSIST_DMA_ASSIST_HH
+#define TENGIG_ASSIST_DMA_ASSIST_HH
+
+#include <deque>
+#include <functional>
+
+#include "mem/host_memory.hh"
+#include "mem/scratchpad.hh"
+#include "mem/sdram.hh"
+#include "sim/clock.hh"
+
+namespace tengig {
+
+/** One DMA command. */
+struct DmaCommand
+{
+    enum class Kind
+    {
+        HostToSdram, //!< frame contents for transmit
+        HostToSpad,  //!< buffer-descriptor fetch
+        SdramToHost, //!< received frame contents
+        SpadToHost,  //!< completion descriptors / index writebacks
+    };
+
+    Kind kind;
+    Addr hostAddr = 0;
+    Addr localAddr = 0;
+    std::size_t len = 0;
+    std::function<void()> done; //!< fires when the transfer completes
+};
+
+/**
+ * A DMA assist engine with an in-order command FIFO.
+ */
+class DmaAssist : public Clocked
+{
+  public:
+    /**
+     * @param spad_requester Crossbar identity for descriptor traffic.
+     * @param sdram_requester Internal-bus identity for frame traffic.
+     * @param fifo_depth Maximum outstanding commands.
+     */
+    DmaAssist(EventQueue &eq, const ClockDomain &cpu_domain,
+              Scratchpad &spad, GddrSdram &sdram, HostMemory &host,
+              unsigned spad_requester, unsigned sdram_requester,
+              unsigned fifo_depth = 64);
+
+    /**
+     * Enqueue a command.
+     * @retval false if the FIFO is full (firmware must retry).
+     */
+    bool push(DmaCommand cmd);
+
+    bool full() const { return queue.size() >= fifoDepth; }
+    std::size_t depth() const { return queue.size(); }
+    unsigned capacity() const { return fifoDepth; }
+
+    std::uint64_t commandsCompleted() const { return completed.value(); }
+    std::uint64_t bytesMoved() const { return bytes.value(); }
+
+  private:
+    void startNext();
+    void finishCurrent();
+    void spadWordLoop(Addr host, Addr local, std::size_t remaining,
+                      bool to_spad);
+
+    Scratchpad &spad;
+    GddrSdram &sdram;
+    HostMemory &host;
+    unsigned spadRequester;
+    unsigned sdramRequester;
+    unsigned fifoDepth;
+
+    std::deque<DmaCommand> queue;
+    bool busy = false;
+
+    stats::Counter completed;
+    stats::Counter bytes;
+};
+
+} // namespace tengig
+
+#endif // TENGIG_ASSIST_DMA_ASSIST_HH

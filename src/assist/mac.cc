@@ -1,0 +1,102 @@
+#include "mac.hh"
+
+namespace tengig {
+
+MacTx::MacTx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram_,
+             FrameSink &sink_, unsigned sdram_requester,
+             unsigned fifo_depth)
+    : Clocked(eq, domain), sdram(sdram_), sink(sink_),
+      sdramRequester(sdram_requester), fifoDepth(fifo_depth)
+{}
+
+bool
+MacTx::push(Command cmd)
+{
+    if (full())
+        return false;
+    queue.push_back(std::move(cmd));
+    tryFetch();
+    return true;
+}
+
+void
+MacTx::tryFetch()
+{
+    // Double buffering: fetch the next frame from SDRAM while at most
+    // one other frame is in flight ahead of it.
+    if (fetching >= maxBuffered || queue.empty())
+        return;
+    Command cmd = std::move(queue.front());
+    queue.pop_front();
+    ++fetching;
+    Addr addr = cmd.sdramAddr;
+    unsigned len = cmd.lenBytes;
+    sdram.request(sdramRequester, addr, len, false,
+                  [this, cmd = std::move(cmd)]() mutable {
+                      enqueueWire(std::move(cmd));
+                  });
+}
+
+void
+MacTx::enqueueWire(Command cmd)
+{
+    // Serialize onto the wire with Ethernet pacing; compute CRC-
+    // inclusive on-wire length.
+    unsigned frame = cmd.lenBytes + ethCrcBytes;
+    if (frame < ethMinFrameBytes)
+        frame = ethMinFrameBytes;
+    Tick start = std::max(curTick(), wireBusyUntil);
+    Tick end = start + wireTimeForFrame(frame);
+    wireBusyUntil = end;
+
+    eventQueue().schedule(end, [this, cmd = std::move(cmd),
+                                frame]() mutable {
+        std::vector<std::uint8_t> bytes(cmd.lenBytes);
+        sdram.readBytes(cmd.sdramAddr, bytes.data(), cmd.lenBytes);
+        sink.deliver(bytes.data(), cmd.lenBytes);
+        ++frames;
+        frameBytes += frame;
+        wireBytes += wireBytesForFrame(frame);
+        --fetching;
+        if (cmd.done)
+            cmd.done();
+        tryFetch();
+    }, EventPriority::HardwareProgress);
+}
+
+MacRx::MacRx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram_,
+             unsigned sdram_requester,
+             std::function<std::optional<Addr>(unsigned)> alloc_slot,
+             std::function<void(const StoredFrame &)> on_stored)
+    : Clocked(eq, domain), sdram(sdram_),
+      sdramRequester(sdram_requester), allocSlot(std::move(alloc_slot)),
+      onStored(std::move(on_stored))
+{}
+
+bool
+MacRx::frameArrived(FrameData &&fd)
+{
+    if (storing >= maxBuffered) {
+        ++drops;
+        return false;
+    }
+    unsigned len = static_cast<unsigned>(fd.bytes.size());
+    std::optional<Addr> slot = allocSlot(len);
+    if (!slot) {
+        ++drops;
+        return false;
+    }
+    ++storing;
+    Addr addr = *slot;
+    sdram.request(sdramRequester, addr, len, true,
+                  [this, addr, data = std::move(fd.bytes)]() {
+                      sdram.writeBytes(addr, data.data(), data.size());
+                      ++frames;
+                      --storing;
+                      onStored(StoredFrame{
+                          addr, static_cast<unsigned>(data.size())});
+                  });
+    return true;
+}
+
+} // namespace tengig

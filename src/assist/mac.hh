@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Medium-access-control hardware assists.
+ *
+ * MacTx drains a firmware-filled command FIFO: each command names a
+ * frame image in the SDRAM transmit buffer.  Frames are prefetched
+ * (double-buffered, as in the paper's two-maximum-frames of assist
+ * buffering) over the internal bus and serialized onto the wire with
+ * real Ethernet pacing (preamble + frame + IFG at 0.8 ns/byte).
+ *
+ * MacRx accepts paced frame arrivals from the network model, asks the
+ * firmware-configured allocator for an SDRAM receive slot, streams the
+ * frame into it, and then reports the stored frame.  Arrivals that find
+ * the double buffer or the receive ring full are dropped -- receive
+ * overruns are exactly how an overloaded NIC sheds load in Figure 8's
+ * small-frame regime.
+ */
+
+#ifndef TENGIG_ASSIST_MAC_HH
+#define TENGIG_ASSIST_MAC_HH
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "mem/sdram.hh"
+#include "net/endpoints.hh"
+#include "net/frame.hh"
+#include "sim/clock.hh"
+
+namespace tengig {
+
+/**
+ * Transmit MAC: SDRAM -> wire.
+ */
+class MacTx : public Clocked
+{
+  public:
+    struct Command
+    {
+        Addr sdramAddr;
+        unsigned lenBytes;           //!< header+payload bytes (no CRC)
+        std::function<void()> done;  //!< fires when the frame has left
+    };
+
+    MacTx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram,
+          FrameSink &sink, unsigned sdram_requester,
+          unsigned fifo_depth = 32);
+
+    /** @retval false if the command FIFO is full. */
+    bool push(Command cmd);
+
+    bool full() const { return queue.size() >= fifoDepth; }
+    std::size_t depth() const { return queue.size(); }
+    unsigned capacity() const { return fifoDepth; }
+    std::uint64_t framesSent() const { return frames.value(); }
+    std::uint64_t wireBytesSent() const { return wireBytes.value(); }
+
+    /** Achieved transmit throughput (payload+headers, no overhead). */
+    double
+    frameBandwidthGbps(Tick now) const
+    {
+        if (now == 0)
+            return 0.0;
+        return static_cast<double>(frameBytes.value()) * 8.0 /
+               (static_cast<double>(now) / tickPerSec) / 1e9;
+    }
+
+  private:
+    void tryFetch();
+    void enqueueWire(Command cmd);
+
+    GddrSdram &sdram;
+    FrameSink &sink;
+    unsigned sdramRequester;
+    unsigned fifoDepth;
+
+    std::deque<Command> queue;
+    unsigned fetching = 0;       //!< frames being read from SDRAM
+    static constexpr unsigned maxBuffered = 2;
+    Tick wireBusyUntil = 0;
+
+    stats::Counter frames;
+    stats::Counter frameBytes;
+    stats::Counter wireBytes;
+};
+
+/**
+ * Receive MAC: wire -> SDRAM.
+ */
+class MacRx : public Clocked
+{
+  public:
+    /** Where an arriving frame was put. */
+    struct StoredFrame
+    {
+        Addr sdramAddr;
+        unsigned lenBytes;
+    };
+
+    /**
+     * @param alloc_slot Firmware-configured receive-slot allocator;
+     *        returns the SDRAM address for a frame of the given length
+     *        or nullopt when the receive ring is exhausted.
+     * @param on_stored Fired when the frame is fully resident in SDRAM.
+     */
+    MacRx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram,
+          unsigned sdram_requester,
+          std::function<std::optional<Addr>(unsigned)> alloc_slot,
+          std::function<void(const StoredFrame &)> on_stored);
+
+    /**
+     * A frame arrived from the network.
+     * @retval false if it had to be dropped.
+     */
+    bool frameArrived(FrameData &&fd);
+
+    std::uint64_t framesStored() const { return frames.value(); }
+    std::uint64_t framesDropped() const { return drops.value(); }
+
+  private:
+    GddrSdram &sdram;
+    unsigned sdramRequester;
+    std::function<std::optional<Addr>(unsigned)> allocSlot;
+    std::function<void(const StoredFrame &)> onStored;
+
+    unsigned storing = 0; //!< frames being written to SDRAM
+    static constexpr unsigned maxBuffered = 2;
+
+    stats::Counter frames;
+    stats::Counter drops;
+};
+
+} // namespace tengig
+
+#endif // TENGIG_ASSIST_MAC_HH

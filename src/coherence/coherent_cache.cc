@@ -1,0 +1,205 @@
+#include "coherent_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace tengig {
+namespace coherence {
+
+CoherentCacheSystem::CoherentCacheSystem(unsigned num_caches,
+                                         std::size_t capacity,
+                                         unsigned line_size,
+                                         Protocol protocol_)
+    : caches(num_caches), lineBytes(line_size), protocol(protocol_)
+{
+    fatal_if(num_caches == 0, "need at least one cache");
+    fatal_if(line_size == 0 || (line_size & (line_size - 1)),
+             "line size must be a power of two");
+    maxLines = capacity / line_size;
+    fatal_if(maxLines == 0, "cache smaller than one line");
+}
+
+CoherentCacheSystem::Line *
+CoherentCacheSystem::find(unsigned c, Addr tag)
+{
+    auto it = caches[c].index.find(tag);
+    if (it == caches[c].index.end())
+        return nullptr;
+    return &*it->second;
+}
+
+void
+CoherentCacheSystem::touchLru(unsigned c, Addr tag)
+{
+    Cache &cache = caches[c];
+    auto it = cache.index.find(tag);
+    cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
+    it->second = cache.lru.begin();
+}
+
+void
+CoherentCacheSystem::evictIfNeeded(unsigned c)
+{
+    Cache &cache = caches[c];
+    if (cache.lru.size() < maxLines)
+        return;
+    Line victim = cache.lru.back();
+    if (victim.state == LineState::Modified)
+        ++_stats.writebacks;
+    cache.index.erase(victim.tag);
+    cache.lru.pop_back();
+}
+
+void
+CoherentCacheSystem::insert(unsigned c, Addr tag, LineState st)
+{
+    evictIfNeeded(c);
+    Cache &cache = caches[c];
+    cache.lru.push_front(Line{tag, st});
+    cache.index[tag] = cache.lru.begin();
+}
+
+void
+CoherentCacheSystem::access(unsigned c, Addr addr, bool write)
+{
+    panic_if(c >= caches.size(), "bad cache index ", c);
+    Addr tag = addr / lineBytes;
+    ++_stats.accesses;
+    if (write)
+        ++_stats.writes;
+
+    Line *line = find(c, tag);
+    if (line && line->state != LineState::Invalid) {
+        // Hit path.
+        ++_stats.hits;
+        touchLru(c, tag);
+        if (write) {
+            switch (line->state) {
+              case LineState::Modified:
+                break;
+              case LineState::Exclusive:
+                line->state = LineState::Modified; // silent upgrade
+                break;
+              case LineState::Shared: {
+                // Upgrade: broadcast and invalidate every other copy.
+                ++_stats.busUpgrades;
+                bool invalidated = false;
+                for (unsigned o = 0; o < caches.size(); ++o) {
+                    if (o == c)
+                        continue;
+                    if (Line *other = find(o, tag)) {
+                        if (other->state != LineState::Invalid) {
+                            other->state = LineState::Invalid;
+                            caches[o].index.erase(tag);
+                            // Lazy removal from the LRU list happens at
+                            // eviction; drop it now for simplicity.
+                            for (auto it = caches[o].lru.begin();
+                                 it != caches[o].lru.end(); ++it) {
+                                if (it->tag == tag) {
+                                    caches[o].lru.erase(it);
+                                    break;
+                                }
+                            }
+                            ++_stats.linesInvalidated;
+                            invalidated = true;
+                        }
+                    }
+                }
+                if (invalidated)
+                    ++_stats.invalidationsSent;
+                line->state = LineState::Modified;
+                break;
+              }
+              case LineState::Invalid:
+                panic("invalid line counted as hit");
+            }
+        }
+        return;
+    }
+
+    // Miss path.
+    ++_stats.misses;
+    bool shared_elsewhere = false;
+    bool invalidated = false;
+    for (unsigned o = 0; o < caches.size(); ++o) {
+        if (o == c)
+            continue;
+        Line *other = find(o, tag);
+        if (!other || other->state == LineState::Invalid)
+            continue;
+        if (other->state == LineState::Modified)
+            ++_stats.writebacks; // owner supplies / writes back data
+        if (write) {
+            other->state = LineState::Invalid;
+            caches[o].index.erase(tag);
+            for (auto it = caches[o].lru.begin();
+                 it != caches[o].lru.end(); ++it) {
+                if (it->tag == tag) {
+                    caches[o].lru.erase(it);
+                    break;
+                }
+            }
+            ++_stats.linesInvalidated;
+            invalidated = true;
+        } else {
+            other->state = LineState::Shared;
+            shared_elsewhere = true;
+        }
+    }
+    if (invalidated)
+        ++_stats.invalidationsSent;
+
+    LineState st;
+    if (write) {
+        st = LineState::Modified;
+    } else if (shared_elsewhere || protocol == Protocol::MSI) {
+        // MSI has no E state: reads always fill Shared.
+        st = LineState::Shared;
+    } else {
+        st = LineState::Exclusive;
+    }
+    insert(c, tag, st);
+}
+
+void
+CoherentCacheSystem::run(const Trace &trace)
+{
+    for (const AccessRecord &r : trace)
+        access(r.cache, r.addr, r.write);
+}
+
+LineState
+CoherentCacheSystem::state(unsigned c, Addr addr) const
+{
+    Addr tag = addr / lineBytes;
+    auto it = caches[c].index.find(tag);
+    if (it == caches[c].index.end())
+        return LineState::Invalid;
+    return it->second->state;
+}
+
+bool
+CoherentCacheSystem::coherenceInvariantHolds(Addr addr) const
+{
+    unsigned owners = 0, sharers = 0;
+    for (unsigned c = 0; c < caches.size(); ++c) {
+        switch (state(c, addr)) {
+          case LineState::Modified:
+          case LineState::Exclusive:
+            ++owners;
+            break;
+          case LineState::Shared:
+            ++sharers;
+            break;
+          case LineState::Invalid:
+            break;
+        }
+    }
+    if (owners > 1)
+        return false;
+    if (owners == 1 && sharers > 0)
+        return false;
+    return true;
+}
+
+} // namespace coherence
+} // namespace tengig

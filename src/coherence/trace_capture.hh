@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Captures control-data access traces from a live NIC simulation for
+ * the coherence study.
+ *
+ * Follows the paper's methodology: one trace per processor core, with
+ * the DMA read/write assist traces interleaved into one stream and the
+ * MAC transmit/receive traces into another (SMPCache modeled at most 8
+ * caches).  Only scratchpad traffic is recorded -- in the partitioned
+ * architecture that *is* exactly the frame-metadata / control-data
+ * stream; frame contents never touch the scratchpad.
+ */
+
+#ifndef TENGIG_COHERENCE_TRACE_CAPTURE_HH
+#define TENGIG_COHERENCE_TRACE_CAPTURE_HH
+
+#include "coherence/coherent_cache.hh"
+#include "nic/controller.hh"
+
+namespace tengig {
+namespace coherence {
+
+/**
+ * Run @p nic for @p warmup + @p duration and return the control-data
+ * trace captured during the measurement window.
+ *
+ * @param max_records Stop recording beyond this many accesses.
+ */
+Trace captureControlTrace(NicController &nic, Tick warmup,
+                          Tick duration,
+                          std::size_t max_records = 4'000'000);
+
+} // namespace coherence
+} // namespace tengig
+
+#endif // TENGIG_COHERENCE_TRACE_CAPTURE_HH

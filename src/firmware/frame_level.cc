@@ -1,0 +1,63 @@
+#include "frame_level.hh"
+
+#include "firmware/calibration.hh"
+
+namespace tengig {
+
+FrameLevelDispatcher::FrameLevelDispatcher(FwTasks &tasks_)
+    : tasks(tasks_)
+{
+    FwState &st = tasks.st();
+    // Completion-side work first (drains the pipeline), intake last.
+    checks = {
+        {true, st.counterAddr(FwState::CtrTxCmdsCompleted),
+         &FwTasks::processTxDmaReady, &FwTasks::tryProcessTxDma},
+        {false, st.counterAddr(FwState::CtrRxCmdsCompleted),
+         &FwTasks::processRxDmaReady, &FwTasks::tryProcessRxDma},
+        {true, st.counterAddr(FwState::CtrMacTxDone),
+         &FwTasks::processTxCompleteReady,
+         &FwTasks::tryProcessTxComplete},
+        {false, st.counterAddr(FwState::CtrMacRxStored),
+         &FwTasks::recvFrameReady, &FwTasks::tryRecvFrame},
+        {true, st.counterAddr(FwState::CtrTxBdArrived),
+         &FwTasks::sendFrameReady, &FwTasks::trySendFrame},
+        {false, st.counterAddr(FwState::CtrHostRecvBds),
+         &FwTasks::fetchRecvBdReady, &FwTasks::tryFetchRecvBd},
+        {true, st.counterAddr(FwState::CtrHostPostedBds),
+         &FwTasks::fetchSendBdReady, &FwTasks::tryFetchSendBd},
+    };
+}
+
+OpList
+FrameLevelDispatcher::next(unsigned core_id)
+{
+    OpRecorder rec(FuncTag::Idle);
+    // Rotate the scan start point so cores do not converge on the same
+    // queue, and so successive polls by one core cover all sources.
+    unsigned start = (core_id + rotate++) % checks.size();
+
+    bool worked = false;
+    for (std::size_t i = 0; i < checks.size() && !worked; ++i) {
+        const Check &c = checks[(start + i) % checks.size()];
+        // Poll cost: inspect the progress pointer.
+        rec.tag(c.isTx ? FuncTag::SendDispatch : FuncTag::RecvDispatch);
+        rec.load(c.pollAddr);
+        rec.alu(cal::dispatchCheckAlu);
+        if ((tasks.*(c.ready))())
+            worked = (tasks.*(c.run))(rec);
+    }
+
+    OpList list = rec.take();
+    if (!worked) {
+        // Nothing anywhere: the whole pass was an idle poll.
+        for (auto &op : list.ops)
+            op.tag = FuncTag::Idle;
+        list.idlePoll = true;
+        ++idle;
+    } else {
+        ++found;
+    }
+    return list;
+}
+
+} // namespace tengig

@@ -1,0 +1,49 @@
+#include "fw_state.hh"
+
+#include "sim/logging.hh"
+
+namespace tengig {
+
+FwState::FwState(Scratchpad &spad_, const FwConfig &cfg)
+    : spad(spad_), config(cfg)
+{
+    fatal_if(cfg.txSlots == 0 || (cfg.txSlots & (cfg.txSlots - 1)),
+             "txSlots must be a power of two");
+    fatal_if(cfg.rxSlots == 0 || (cfg.rxSlots & (cfg.rxSlots - 1)),
+             "rxSlots must be a power of two");
+    fatal_if(cfg.bdCacheBds == 0 ||
+             (cfg.bdCacheBds & (cfg.bdCacheBds - 1)),
+             "bdCacheBds must be a power of two");
+    fatal_if(cfg.bundleFrames == 0, "bundleFrames must be >= 1");
+
+    // The flag rings must cover every in-flight frame; slots bound the
+    // in-flight window, so flagBits = 2 * slots is always safe.
+    flagBits = 2 * std::max(cfg.txSlots, cfg.rxSlots);
+
+    auto &st = spad.storage();
+    counterBase = st.alloc(4 * NumCounters, 64);
+    lockBase = st.alloc(4 * numFwLocks, 64);
+    metadataStart = st.allocated();
+    txFlagBase = st.alloc(flagBits / 8, 64);
+    rxFlagBase = st.alloc(flagBits / 8, 64);
+    sendBdCache = st.alloc(16 * cfg.bdCacheBds, 64);
+    recvBdCache = st.alloc(16 * cfg.bdCacheBds, 64);
+    rxHwDescBase = st.alloc(8 * cfg.rxSlots, 64);
+    rxComplBase = st.alloc(16 * cfg.rxSlots, 64);
+    txCmdRingBase = st.alloc(4 * cfg.txSlots, 64);
+    rxCmdRingBase = st.alloc(4 * cfg.rxSlots, 64);
+    txInfoBase = st.alloc(infoBytes * cfg.txSlots, 64);
+    rxInfoBase = st.alloc(infoBytes * cfg.rxSlots, 64);
+    // Event structures live in a dedicated section (last eventBytes)
+    // of each frame's metadata block: stage handoffs between cores
+    // touch the same lines the building core wrote.
+    txEventBase = txInfoBase + infoBytes - eventBytes;
+    rxEventBase = rxInfoBase + infoBytes - eventBytes;
+
+    txCmdSeq.assign(cfg.txSlots, 0);
+    rxCmdSeq.assign(cfg.rxSlots, 0);
+    txInfo.assign(cfg.txSlots, TxFrameInfo{});
+    rxInfo.assign(cfg.rxSlots, RxFrameInfo{});
+}
+
+} // namespace tengig

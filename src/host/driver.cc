@@ -1,0 +1,178 @@
+#include "driver.hh"
+
+#include "sim/logging.hh"
+
+namespace tengig {
+
+DeviceDriver::DeviceDriver(HostMemory &host_, const Config &cfg)
+    : host(host_), config(cfg)
+{
+    fatal_if(cfg.txPayloadBytes < 18 ||
+             cfg.txPayloadBytes > udpMaxPayloadBytes,
+             "tx payload must be in [18, 1472], got ", cfg.txPayloadBytes);
+    fatal_if(cfg.tsoSegments == 0 || cfg.tsoSegments > 255,
+             "tsoSegments must be in [1, 255]");
+    fatal_if(cfg.sendRingFrames % cfg.tsoSegments != 0,
+             "send ring must hold whole TSO groups");
+
+    // Two BDs per send group (a group is one frame, or tsoSegments
+    // frames sliced from one large buffer).
+    unsigned groups = cfg.sendRingFrames / cfg.tsoSegments;
+    sendRingBds = groups * 2;
+    sendRing = host.alloc(static_cast<std::size_t>(sendRingBds) *
+                          BufferDesc::bytes, 64);
+    // One reusable header-template + payload buffer per ring group.
+    std::size_t tx_buf_bytes = txHeaderBytes +
+        static_cast<std::size_t>(udpMaxPayloadBytes) * cfg.tsoSegments;
+    txBufBase = host.alloc(static_cast<std::size_t>(groups) *
+                           tx_buf_bytes, 64);
+
+    recvRingBds = cfg.recvPoolBuffers;
+    recvRing = host.alloc(static_cast<std::size_t>(recvRingBds) *
+                          BufferDesc::bytes, 64);
+    recvReturnRing = host.alloc(static_cast<std::size_t>(recvRingBds) *
+                                BufferDesc::bytes, 64);
+    txConsumedAddr = host.alloc(8, 8);
+    rxBufBase = host.alloc(static_cast<std::size_t>(cfg.recvPoolBuffers) *
+                           ethMaxFrameBytes, 64);
+}
+
+void
+DeviceDriver::postOneSendFrame()
+{
+    // Posts one send *group*: tsoSegments frames behind a single
+    // header-template/payload descriptor pair.
+    unsigned segs = config.tsoSegments;
+    std::uint64_t seq = txPosted;
+    std::uint64_t group = seq / segs;
+    unsigned groups = config.sendRingFrames / segs;
+    unsigned slot = static_cast<unsigned>(group % groups);
+    std::size_t buf_bytes = txHeaderBytes +
+        static_cast<std::size_t>(udpMaxPayloadBytes) * segs;
+    Addr buf = txBufBase + static_cast<Addr>(slot) * buf_bytes;
+
+    // Header template: deterministic protocol-header stand-in.  For a
+    // TSO group the NIC replicates it per segment.
+    std::uint8_t hdr[txHeaderBytes];
+    for (unsigned i = 0; i < txHeaderBytes; ++i)
+        hdr[i] = static_cast<std::uint8_t>(0x40 + (i * 7 + seq));
+    host.write(buf, hdr, sizeof(hdr));
+
+    // Per-segment payloads laid out back to back in the large buffer,
+    // each individually validatable at the wire sink.
+    unsigned payload = config.txPayloadBytes;
+    for (unsigned s = 0; s < segs; ++s) {
+        fillPayload(host.data(buf + txHeaderBytes +
+                              static_cast<Addr>(s) * payload),
+                    payload, static_cast<std::uint32_t>(seq + s));
+    }
+
+    std::uint32_t flags = BufferDesc::flagLast;
+    if (segs > 1)
+        flags |= BufferDesc::flagTso |
+            (segs << BufferDesc::segmentShift);
+    BufferDesc bd0{buf, txHeaderBytes, BufferDesc::flagFirst};
+    BufferDesc bd1{buf + txHeaderBytes,
+                   payload * segs, flags};
+    Addr ring_at = sendRing +
+        static_cast<Addr>((group * 2) % sendRingBds) *
+        BufferDesc::bytes;
+    host.write(ring_at, &bd0, sizeof(bd0));
+    host.write(ring_at + BufferDesc::bytes, &bd1, sizeof(bd1));
+    txPosted += segs;
+}
+
+void
+DeviceDriver::postSendFrames(unsigned n)
+{
+    fatal_if(n % config.tsoSegments != 0,
+             "post count must be whole TSO groups");
+    for (unsigned i = 0; i < n; i += config.tsoSegments) {
+        fatal_if(txPosted - txConsumed >= config.sendRingFrames,
+                 "send ring overflow: posting past unconsumed frames");
+        postOneSendFrame();
+    }
+    if (sendDoorbell && n > 0)
+        sendDoorbell(txPosted / config.tsoSegments * 2);
+}
+
+void
+DeviceDriver::startBackloggedSend()
+{
+    backlogged = true;
+    unsigned space = config.sendRingFrames -
+        static_cast<unsigned>(txPosted - txConsumed);
+    space -= space % config.tsoSegments;
+    postSendFrames(space);
+}
+
+void
+DeviceDriver::txConsumedUpTo(std::uint64_t frames)
+{
+    // Consumed-index writebacks from concurrently executing firmware
+    // handlers can land out of order; stale updates are ignored, as in
+    // a real driver.
+    if (frames <= txConsumed)
+        return;
+    panic_if(frames > txPosted, "NIC consumed frames never posted");
+    txConsumed = frames;
+    if (backlogged) {
+        unsigned space = config.sendRingFrames -
+            static_cast<unsigned>(txPosted - txConsumed);
+        space -= space % config.tsoSegments;
+        if (space > 0)
+            postSendFrames(space);
+    }
+}
+
+void
+DeviceDriver::primeReceivePool()
+{
+    postRecvBds(config.recvPoolBuffers);
+}
+
+void
+DeviceDriver::postRecvBds(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        std::uint64_t idx = rxBdsPosted;
+        unsigned slot = static_cast<unsigned>(idx %
+                                              config.recvPoolBuffers);
+        Addr buf = rxBufBase +
+            static_cast<Addr>(slot) * ethMaxFrameBytes;
+        BufferDesc bd{buf, ethMaxFrameBytes, 0};
+        Addr ring_at = recvRing +
+            static_cast<Addr>(idx % recvRingBds) * BufferDesc::bytes;
+        host.write(ring_at, &bd, sizeof(bd));
+        ++rxBdsPosted;
+    }
+    if (recvDoorbell && n > 0)
+        recvDoorbell(rxBdsPosted);
+}
+
+void
+DeviceDriver::rxCompletion(Addr host_buf, std::uint32_t len)
+{
+    ++rxDelivered;
+    std::uint32_t seq = 0;
+    if (len <= txHeaderBytes ||
+        !checkPayload(host.data(host_buf + txHeaderBytes),
+                      len - txHeaderBytes, seq)) {
+        ++rxBad;
+    } else {
+        rxPayload += len - txHeaderBytes;
+        // Drops upstream (MAC overruns) legitimately create gaps; only
+        // a regression or duplicate is an ordering violation.
+        if (seq < rxExpectedSeq)
+            ++rxOutOfOrder;
+        rxExpectedSeq = seq + 1;
+    }
+
+    // Replenish the pool in batches once enough buffers are returned.
+    ++rxBuffersReturned;
+    std::uint64_t outstanding = rxBdsPosted - rxBuffersReturned;
+    if (outstanding + config.recvPostBatch <= config.recvPoolBuffers)
+        postRecvBds(config.recvPostBatch);
+}
+
+} // namespace tengig

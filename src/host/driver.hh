@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Host device-driver model (Section 2 of the paper).
+ *
+ * Implements the driver half of the send/receive protocols of Figs. 1
+ * and 2: it builds buffer descriptors in host-memory rings (two per
+ * sent frame -- a 42-byte header BD and a payload BD, matching the
+ * paper's discontiguous-regions observation), rings mailbox doorbells,
+ * preallocates and replenishes the receive buffer pool, and consumes
+ * completions.  It also validates everything coming back: receive
+ * completions must arrive in order, exactly once, with intact payloads.
+ *
+ * Host CPU time and host-interconnect latency are untimed (paper §5);
+ * the driver reacts instantly to NIC notifications.
+ */
+
+#ifndef TENGIG_HOST_DRIVER_HH
+#define TENGIG_HOST_DRIVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mem/host_memory.hh"
+#include "net/frame.hh"
+#include "sim/stats.hh"
+
+namespace tengig {
+
+/** A buffer descriptor as written into the host rings (16 bytes). */
+struct BufferDesc
+{
+    std::uint64_t hostAddr;
+    std::uint32_t len;
+    std::uint32_t flags;
+
+    static constexpr std::uint32_t flagFirst = 1u << 0;
+    static constexpr std::uint32_t flagLast = 1u << 1;
+    static constexpr std::uint32_t flagTso = 1u << 2;
+    /** Segment count for TSO BDs lives in flags[15:8]. */
+    static constexpr unsigned segmentShift = 8;
+    static constexpr unsigned bytes = 16;
+};
+
+/**
+ * The driver: owns the host-side rings and buffer pools.
+ */
+class DeviceDriver
+{
+  public:
+    struct Config
+    {
+        unsigned sendRingFrames = 1024;  //!< outstanding TX frames
+        unsigned recvPoolBuffers = 1024; //!< outstanding RX buffers
+        unsigned recvPostBatch = 64;     //!< BDs posted per doorbell
+        unsigned txPayloadBytes = udpMaxPayloadBytes;
+        /**
+         * Deferred segmentation (the paper's future-work TSO, after
+         * reference [4]): when > 1, each posted descriptor pair
+         * covers this many frames -- one 42-byte header template BD
+         * plus one large payload BD the NIC slices into frames.
+         */
+        unsigned tsoSegments = 1;
+    };
+
+    DeviceDriver(HostMemory &host, const Config &cfg);
+
+    /// @name NIC-facing doorbell wiring
+    /// @{
+    /** Install the doorbell the driver rings after posting send BDs. */
+    void
+    onSendDoorbell(std::function<void(std::uint64_t total_bds)> fn)
+    {
+        sendDoorbell = std::move(fn);
+    }
+
+    /** Install the doorbell for newly posted receive BDs. */
+    void
+    onRecvDoorbell(std::function<void(std::uint64_t total_bds)> fn)
+    {
+        recvDoorbell = std::move(fn);
+    }
+    /// @}
+
+    /**
+     * Enter backlogged-transmit mode: the send ring is kept full for
+     * the whole run (the paper's saturation workloads).
+     */
+    void startBackloggedSend();
+
+    /** Post exactly @p n frames (tests / finite workloads). */
+    void postSendFrames(unsigned n);
+
+    /** Initial fill of the receive pool. */
+    void primeReceivePool();
+
+    /// @name NIC-side accessors (used by the DMA glue)
+    /// @{
+    Addr sendBdRingBase() const { return sendRing; }
+    Addr recvBdRingBase() const { return recvRing; }
+    Addr recvReturnRingBase() const { return recvReturnRing; }
+    Addr txConsumedMailbox() const { return txConsumedAddr; }
+    unsigned sendRingCapacityBds() const { return sendRingBds; }
+    unsigned recvRingCapacityBds() const { return recvRingBds; }
+    /// @}
+
+    /// @name Completion entry points (the NIC's "interrupts")
+    /// @{
+    /** TX: the NIC consumed (transmitted) frames up to @p frames. */
+    void txConsumedUpTo(std::uint64_t frames);
+
+    /** RX: one completion descriptor landed in the host ring. */
+    void rxCompletion(Addr host_buf, std::uint32_t len);
+    /// @}
+
+    /// @name Workload statistics and validation results
+    /// @{
+    std::uint64_t txFramesPosted() const { return txPosted; }
+    std::uint64_t txFramesConsumed() const { return txConsumed; }
+    std::uint64_t rxFramesDelivered() const { return rxDelivered.value(); }
+    std::uint64_t rxPayloadBytes() const { return rxPayload.value(); }
+    std::uint64_t rxIntegrityErrors() const { return rxBad.value(); }
+    std::uint64_t rxOrderErrors() const { return rxOutOfOrder.value(); }
+    std::uint64_t recvBdsPosted() const { return rxBdsPosted; }
+    /// @}
+
+  private:
+    void postOneSendFrame();
+    void postRecvBds(unsigned n);
+
+    HostMemory &host;
+    Config config;
+
+    // TX state.
+    Addr sendRing;            //!< BD ring base in host memory
+    unsigned sendRingBds;
+    Addr txBufBase;           //!< per-frame header+payload buffers
+    std::uint64_t txPosted = 0;
+    std::uint64_t txConsumed = 0;
+    bool backlogged = false;
+    std::function<void(std::uint64_t)> sendDoorbell;
+
+    // RX state.
+    Addr recvRing;
+    Addr recvReturnRing;      //!< completion descriptors land here
+    Addr txConsumedAddr;      //!< 4-byte consumed-index mailbox
+    unsigned recvRingBds;
+    Addr rxBufBase;
+    std::uint64_t rxBdsPosted = 0;
+    std::uint64_t rxBuffersReturned = 0;
+    std::uint32_t rxExpectedSeq = 0;
+    std::function<void(std::uint64_t)> recvDoorbell;
+
+    stats::Counter rxDelivered;
+    stats::Counter rxPayload;
+    stats::Counter rxBad;
+    stats::Counter rxOutOfOrder;
+};
+
+} // namespace tengig
+
+#endif // TENGIG_HOST_DRIVER_HH

@@ -1,0 +1,181 @@
+#include "ilp_analyzer.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tengig {
+namespace ilp {
+
+namespace {
+
+/** Cycle-occupancy bookkeeping grown on demand. */
+struct CycleTable
+{
+    std::vector<std::uint16_t> issued;
+    std::vector<std::uint16_t> mem;
+    std::vector<std::uint16_t> branches;
+
+    void
+    ensure(std::size_t c)
+    {
+        if (c >= issued.size()) {
+            std::size_t n = std::max<std::size_t>(c + 1,
+                                                  issued.size() * 2 + 64);
+            issued.resize(n, 0);
+            mem.resize(n, 0);
+            branches.resize(n, 0);
+        }
+    }
+};
+
+} // namespace
+
+double
+analyzeIpc(const InstrTrace &trace, const IlpConfig &cfg)
+{
+    fatal_if(cfg.width == 0, "issue width must be >= 1");
+    if (trace.empty())
+        return 0.0;
+
+    // regReady[r]: cycle at which register r's value is available.
+    std::vector<std::uint64_t> regReady(64, 0);
+    CycleTable occ;
+
+    std::uint64_t last_issue = 0;      // in-order monotonicity
+    std::uint64_t branch_barrier = 0;  // BranchModel::None fence
+    bool prev_was_branch = false;      // delay-slot exemption
+    std::uint64_t max_cycle = 0;
+
+    auto load_latency = cfg.perfectPipeline ? 1u : 2u;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceInstr &in = trace[i];
+
+        // Earliest cycle permitted by data dependences.
+        std::uint64_t ready = 0;
+        if (in.src0 >= 0)
+            ready = std::max(ready, regReady[in.src0]);
+        if (in.src1 >= 0)
+            ready = std::max(ready, regReady[in.src1]);
+
+        // Control dependences: with no branch prediction nothing past
+        // the delay slot may issue until the cycle after the branch.
+        bool exempt = prev_was_branch; // R4000 delay slot
+        if (cfg.branch == BranchModel::None && !exempt)
+            ready = std::max(ready, branch_barrier);
+
+        if (cfg.inOrder)
+            ready = std::max(ready, last_issue);
+
+        // Find the earliest cycle with structural capacity.
+        bool is_mem = in.cls == InstrClass::Load ||
+                      in.cls == InstrClass::Store;
+        bool is_branch = in.cls == InstrClass::Branch;
+        std::uint64_t c = ready;
+        for (;;) {
+            occ.ensure(c);
+            if (occ.issued[c] >= cfg.width) {
+                ++c;
+                continue;
+            }
+            if (!cfg.perfectPipeline && is_mem && occ.mem[c] >= 1) {
+                if (cfg.inOrder)
+                    last_issue = c; // younger ops stall behind us
+                ++c;
+                continue;
+            }
+            if (is_branch && cfg.branch == BranchModel::PBP1 &&
+                occ.branches[c] >= 1) {
+                ++c;
+                continue;
+            }
+            if (cfg.branch == BranchModel::None && is_branch &&
+                occ.issued[c] > 0 && !cfg.inOrder) {
+                // An unpredicted branch ends its issue cycle; placing
+                // it in a cycle that already issued younger work is
+                // fine, but in this simple model we just take the slot.
+            }
+            break;
+        }
+
+        occ.issued[c] += 1;
+        if (is_mem)
+            occ.mem[c] += 1;
+        if (is_branch)
+            occ.branches[c] += 1;
+
+        if (in.dst >= 0) {
+            std::uint64_t lat = in.cls == InstrClass::Load
+                ? load_latency : 1u;
+            regReady[in.dst] = c + lat;
+        }
+        if (cfg.inOrder)
+            last_issue = c;
+        if (is_branch) {
+            if (cfg.branch == BranchModel::None)
+                branch_barrier = std::max(branch_barrier, c + 1);
+            prev_was_branch = true;
+        } else {
+            prev_was_branch = false;
+        }
+        max_cycle = std::max(max_cycle, c);
+    }
+
+    return static_cast<double>(trace.size()) /
+           static_cast<double>(max_cycle + 1);
+}
+
+InstrTrace
+generateFirmwareTrace(const TraceGenConfig &cfg)
+{
+    fatal_if(cfg.registers < 4 || cfg.registers > 64,
+             "register count out of range");
+    Rng rng(cfg.seed);
+    InstrTrace trace;
+    trace.reserve(cfg.instructions);
+
+    // Recently written registers, for short dependence chains.
+    std::vector<std::int16_t> recent;
+    std::int16_t forced_src = -1; // load-use forcing
+
+    auto pick_src = [&](double recent_bias) -> std::int16_t {
+        if (!recent.empty() && rng.chance(recent_bias))
+            return recent[rng.below(recent.size())];
+        return static_cast<std::int16_t>(rng.below(cfg.registers));
+    };
+
+    for (std::size_t i = 0; i < cfg.instructions; ++i) {
+        TraceInstr in;
+        double roll = rng.uniform();
+        if (roll < cfg.loadFrac)
+            in.cls = InstrClass::Load;
+        else if (roll < cfg.loadFrac + cfg.storeFrac)
+            in.cls = InstrClass::Store;
+        else if (roll < cfg.loadFrac + cfg.storeFrac + cfg.branchFrac)
+            in.cls = InstrClass::Branch;
+        else
+            in.cls = InstrClass::Alu;
+
+        // Operands.
+        in.src0 = forced_src >= 0 ? forced_src : pick_src(0.4);
+        forced_src = -1;
+        if (in.cls != InstrClass::Load && rng.chance(0.5))
+            in.src1 = pick_src(0.3);
+        if (in.cls == InstrClass::Alu || in.cls == InstrClass::Load) {
+            in.dst = static_cast<std::int16_t>(rng.below(cfg.registers));
+            recent.push_back(in.dst);
+            if (recent.size() > 8)
+                recent.erase(recent.begin());
+        }
+
+        if (in.cls == InstrClass::Load && rng.chance(cfg.loadUseFrac))
+            forced_src = in.dst; // next instruction consumes the load
+
+        trace.push_back(in);
+    }
+    return trace;
+}
+
+} // namespace ilp
+} // namespace tengig

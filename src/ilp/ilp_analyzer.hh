@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Instruction-level-parallelism limit study (Section 2.2, Table 2).
+ *
+ * The paper derives theoretical peak IPCs of NIC firmware by offline
+ * analysis of a dynamic instruction trace from a MIPS R4000 build of
+ * idealized firmware.  This module reproduces that study: a trace of
+ * register-level instructions (with the R4000's single branch delay
+ * slot) is scheduled under combinations of
+ *  - in-order vs out-of-order issue,
+ *  - issue widths 1/2/4/8/16,
+ *  - perfect pipeline vs a 5-stage pipeline with load-use stalls and a
+ *    one-memory-op-per-cycle constraint,
+ *  - branch handling: perfect (unlimited correctly predicted branches
+ *    per cycle), PBP1 (one predicted branch per cycle), or none (a
+ *    branch ends the issue cycle).
+ *
+ * The scheduler computes, for each dynamic instruction, the earliest
+ * cycle it may issue given its register dependences and the model's
+ * constraints; IPC = instructions / make-span.  Out-of-order issue is
+ * modeled as dataflow-limited scheduling (infinite window), in-order
+ * issue additionally forces nondecreasing issue cycles in program
+ * order.
+ */
+
+#ifndef TENGIG_ILP_ILP_ANALYZER_HH
+#define TENGIG_ILP_ILP_ANALYZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace tengig {
+namespace ilp {
+
+/** Dynamic instruction classes. */
+enum class InstrClass : std::uint8_t
+{
+    Alu,
+    Load,
+    Store,
+    Branch,
+};
+
+/** One dynamic instruction with register operands. */
+struct TraceInstr
+{
+    InstrClass cls;
+    std::int16_t dst = -1;  //!< destination register (-1 = none)
+    std::int16_t src0 = -1;
+    std::int16_t src1 = -1;
+};
+
+using InstrTrace = std::vector<TraceInstr>;
+
+/** Branch-prediction models of Table 2. */
+enum class BranchModel
+{
+    Perfect, //!< any number of branches issue per cycle
+    PBP1,    //!< at most one branch per cycle
+    None,    //!< a branch stops issue until the next cycle
+};
+
+/** Scheduling configuration. */
+struct IlpConfig
+{
+    bool inOrder = true;
+    unsigned width = 1;
+    bool perfectPipeline = true; //!< false: load-use stall + 1 mem/cycle
+    BranchModel branch = BranchModel::Perfect;
+};
+
+/** Compute the limit-study IPC of @p trace under @p cfg. */
+double analyzeIpc(const InstrTrace &trace, const IlpConfig &cfg);
+
+/**
+ * Generator for firmware-shaped instruction traces.
+ *
+ * Statistics follow the paper's firmware characterization: roughly a
+ * third of instructions access memory, one instruction in six is a
+ * branch (with its R4000 delay slot), 50% of loads feed their
+ * immediately following instruction, and dependence chains are short
+ * (event-handler code computes addresses and flags, not long
+ * arithmetic recurrences).
+ */
+struct TraceGenConfig
+{
+    std::size_t instructions = 200'000;
+    double loadFrac = 0.22;
+    double storeFrac = 0.12;
+    double branchFrac = 0.16;
+    double loadUseFrac = 0.5; //!< loads feeding the next instruction
+    unsigned registers = 32;
+    std::uint64_t seed = 0xf1a9;
+};
+
+InstrTrace generateFirmwareTrace(const TraceGenConfig &cfg);
+
+} // namespace ilp
+} // namespace tengig
+
+#endif // TENGIG_ILP_ILP_ANALYZER_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Flat host main-memory model.
+ *
+ * The paper deliberately does not model host-interconnect bandwidth or
+ * latency (its §5), so host memory is an untimed byte store.  The DMA
+ * assists still pay the internal-bus / SDRAM costs on the NIC side of
+ * every transfer.
+ */
+
+#ifndef TENGIG_MEM_HOST_MEMORY_HH
+#define TENGIG_MEM_HOST_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tengig {
+
+class HostMemory
+{
+  public:
+    explicit HostMemory(std::size_t capacity = 64 * 1024 * 1024)
+        : mem(capacity, 0)
+    {}
+
+    std::size_t capacity() const { return mem.size(); }
+
+    void
+    write(Addr addr, const void *src, std::size_t len)
+    {
+        panic_if(addr + len > mem.size(), "host memory write out of range");
+        std::memcpy(mem.data() + addr, src, len);
+    }
+
+    void
+    read(Addr addr, void *dst, std::size_t len) const
+    {
+        panic_if(addr + len > mem.size(), "host memory read out of range");
+        std::memcpy(dst, mem.data() + addr, len);
+    }
+
+    const std::uint8_t *data(Addr addr) const { return mem.data() + addr; }
+    std::uint8_t *data(Addr addr) { return mem.data() + addr; }
+
+    /** Bump-allocate a host buffer. */
+    Addr
+    alloc(std::size_t bytes, std::size_t align = 8)
+    {
+        Addr base = (brk + align - 1) & ~static_cast<Addr>(align - 1);
+        fatal_if(base + bytes > mem.size(), "host memory exhausted");
+        brk = base + bytes;
+        return base;
+    }
+
+  private:
+    std::vector<std::uint8_t> mem;
+    Addr brk = 64; // keep address 0 invalid
+};
+
+} // namespace tengig
+
+#endif // TENGIG_MEM_HOST_MEMORY_HH

@@ -1,0 +1,160 @@
+#include "sdram.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tengig {
+
+GddrSdram::GddrSdram(EventQueue &eq, const ClockDomain &domain,
+                     const Config &cfg)
+    : Clocked(eq, domain), config(cfg), mem(cfg.capacity, 0),
+      openRow(cfg.banks, -1)
+{
+    fatal_if(cfg.banks == 0, "sdram needs at least one bank");
+    fatal_if(cfg.rowBytes == 0 || (cfg.rowBytes & (cfg.rowBytes - 1)),
+             "sdram row size must be a power of two");
+}
+
+unsigned
+GddrSdram::bankOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr / config.rowBytes) % config.banks);
+}
+
+std::uint64_t
+GddrSdram::rowOf(Addr addr) const
+{
+    return addr / (static_cast<std::uint64_t>(config.rowBytes) *
+                   config.banks);
+}
+
+void
+GddrSdram::request(unsigned requester, Addr addr, std::size_t len,
+                   bool is_write, Callback cb)
+{
+    panic_if(requester >= config.numRequesters,
+             "bad sdram requester ", requester);
+    panic_if(addr + len > mem.size(),
+             "sdram burst out of range: addr=", addr, " len=", len);
+    queue.push_back(Burst{requester, addr, len, is_write, std::move(cb)});
+    scheduleArbitration();
+}
+
+void
+GddrSdram::scheduleArbitration()
+{
+    if (arbScheduled || queue.empty())
+        return;
+    arbScheduled = true;
+    Tick at = std::max(clockDomain().nextEdgeAtOrAfter(curTick()),
+                       busUntil);
+    eventQueue().schedule(at, [this] { arbitrate(); },
+                          EventPriority::HardwareProgress);
+}
+
+void
+GddrSdram::arbitrate()
+{
+    arbScheduled = false;
+    if (queue.empty())
+        return;
+
+    // Round-robin over requester ids; a granted burst runs to completion.
+    std::size_t pick = 0;
+    bool found = false;
+    for (unsigned step = 0; step < config.numRequesters && !found;
+         ++step) {
+        unsigned want = (rrNext + step) % config.numRequesters;
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            if (queue[i].requester == want) {
+                pick = i;
+                found = true;
+                break;
+            }
+        }
+    }
+    Burst b = std::move(queue[pick]);
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+    rrNext = (b.requester + 1) % config.numRequesters;
+
+    ++bursts;
+
+    // Word-align the transfer window: unaligned leading/trailing bytes
+    // still move across the pins and are masked, so they count as
+    // consumed (but not useful) bandwidth.
+    Addr first = b.addr & ~static_cast<Addr>(wordBytes - 1);
+    Addr last = (b.addr + b.len + wordBytes - 1) &
+                ~static_cast<Addr>(wordBytes - 1);
+    std::size_t wire_bytes = b.len ? last - first : 0;
+
+    // Row activations: walk the row spans the burst touches.
+    Cycles activate_cycles = 0;
+    if (b.len) {
+        Addr a = first;
+        while (a < last) {
+            unsigned bank = bankOf(a);
+            std::int64_t row = static_cast<std::int64_t>(rowOf(a));
+            if (openRow[bank] != row) {
+                openRow[bank] = row;
+                ++activations;
+                activate_cycles += config.rowActivateCycles;
+            }
+            Addr row_end = (a / config.rowBytes + 1) * config.rowBytes;
+            a = std::min<Addr>(row_end, last);
+        }
+    }
+
+    Cycles beats = (wire_bytes + beatBytes - 1) / beatBytes;
+    Tick start = clockDomain().nextEdgeAtOrAfter(curTick());
+    Tick done = start +
+        clockDomain().cyclesToTicks(activate_cycles + beats + 1);
+    busUntil = done;
+    busyTicks += done - start;
+    useful += b.len;
+    transferred += wire_bytes;
+
+    eventQueue().schedule(done,
+                          [this, cb = std::move(b.cb)] {
+                              if (cb)
+                                  cb();
+                              scheduleArbitration();
+                          },
+                          EventPriority::HardwareProgress);
+}
+
+void
+GddrSdram::writeBytes(Addr addr, const std::uint8_t *src, std::size_t len)
+{
+    panic_if(addr + len > mem.size(), "sdram write out of range");
+    std::memcpy(mem.data() + addr, src, len);
+}
+
+void
+GddrSdram::readBytes(Addr addr, std::uint8_t *dst, std::size_t len) const
+{
+    panic_if(addr + len > mem.size(), "sdram read out of range");
+    std::memcpy(dst, mem.data() + addr, len);
+}
+
+void
+GddrSdram::report(stats::Report &r, const std::string &prefix) const
+{
+    r.set(prefix + ".bursts", static_cast<double>(bursts.value()));
+    r.set(prefix + ".usefulBytes", static_cast<double>(useful.value()));
+    r.set(prefix + ".transferredBytes",
+          static_cast<double>(transferred.value()));
+    r.set(prefix + ".rowActivations",
+          static_cast<double>(activations.value()));
+}
+
+void
+GddrSdram::resetStats()
+{
+    useful.reset();
+    transferred.reset();
+    activations.reset();
+    bursts.reset();
+    busyTicks.reset();
+}
+
+} // namespace tengig

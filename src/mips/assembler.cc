@@ -1,0 +1,301 @@
+#include "assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tengig {
+namespace mips {
+
+namespace {
+
+const std::map<std::string, unsigned> regNames = {
+    {"zero", 0}, {"at", 1},  {"v0", 2},  {"v1", 3},  {"a0", 4},
+    {"a1", 5},   {"a2", 6},  {"a3", 7},  {"t0", 8},  {"t1", 9},
+    {"t2", 10},  {"t3", 11}, {"t4", 12}, {"t5", 13}, {"t6", 14},
+    {"t7", 15},  {"s0", 16}, {"s1", 17}, {"s2", 18}, {"s3", 19},
+    {"s4", 20},  {"s5", 21}, {"s6", 22}, {"s7", 23}, {"t8", 24},
+    {"t9", 25},  {"k0", 26}, {"k1", 27}, {"gp", 28}, {"sp", 29},
+    {"fp", 30},  {"ra", 31},
+};
+
+struct OpSpec
+{
+    Op op;
+    /** Operand format:
+     *  'R' = rd, rs, rt        'I' = rd, rs, imm
+     *  'S' = rd, imm (lui) / shift: rd, rs, shamt handled via 'I'
+     *  'M' = rt, imm(rs)       'B' = rs, rt, label
+     *  'Z' = rs, label (single-source branches)
+     *  'J' = label             'r' = rs only (jr)
+     *  'N' = none
+     */
+    char fmt;
+};
+
+const std::map<std::string, OpSpec> mnemonics = {
+    {"addu", {Op::Addu, 'R'}},   {"subu", {Op::Subu, 'R'}},
+    {"and", {Op::And, 'R'}},     {"or", {Op::Or, 'R'}},
+    {"xor", {Op::Xor, 'R'}},     {"nor", {Op::Nor, 'R'}},
+    {"slt", {Op::Slt, 'R'}},     {"sltu", {Op::Sltu, 'R'}},
+    {"sllv", {Op::Sllv, 'R'}},   {"srlv", {Op::Srlv, 'R'}},
+    {"addiu", {Op::Addiu, 'I'}}, {"andi", {Op::Andi, 'I'}},
+    {"ori", {Op::Ori, 'I'}},     {"xori", {Op::Xori, 'I'}},
+    {"slti", {Op::Slti, 'I'}},   {"sltiu", {Op::Sltiu, 'I'}},
+    {"sll", {Op::Sll, 'I'}},     {"srl", {Op::Srl, 'I'}},
+    {"sra", {Op::Sra, 'I'}},     {"lui", {Op::Lui, 'S'}},
+    {"lw", {Op::Lw, 'M'}},       {"lb", {Op::Lb, 'M'}},
+    {"lbu", {Op::Lbu, 'M'}},     {"sw", {Op::Sw, 'M'}},
+    {"sb", {Op::Sb, 'M'}},       {"beq", {Op::Beq, 'B'}},
+    {"bne", {Op::Bne, 'B'}},     {"blez", {Op::Blez, 'Z'}},
+    {"bgtz", {Op::Bgtz, 'Z'}},   {"bltz", {Op::Bltz, 'Z'}},
+    {"bgez", {Op::Bgez, 'Z'}},   {"j", {Op::J, 'J'}},
+    {"jal", {Op::Jal, 'J'}},     {"jr", {Op::Jr, 'r'}},
+    {"nop", {Op::Nop, 'N'}},
+    // Common pseudo-instructions.
+    {"move", {Op::Addu, 'P'}},   {"li", {Op::Addiu, 'L'}},
+    {"b", {Op::J, 'J'}},
+};
+
+std::string
+stripComment(const std::string &line)
+{
+    auto pos = line.find('#');
+    return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+std::vector<std::string>
+tokenize(const std::string &operands)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char c : operands) {
+        if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                toks.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        toks.push_back(cur);
+    return toks;
+}
+
+std::int32_t
+parseImm(const std::string &tok, const std::string &ctx)
+{
+    fatal_if(tok.empty(), "missing immediate in ", ctx);
+    try {
+        std::size_t used = 0;
+        long v = std::stol(tok, &used, 0);
+        fatal_if(used != tok.size(), "bad immediate '", tok, "' in ",
+                 ctx);
+        return static_cast<std::int32_t>(v);
+    } catch (const std::logic_error &) {
+        fatal("bad immediate '", tok, "' in ", ctx);
+    }
+}
+
+} // namespace
+
+unsigned
+parseRegister(const std::string &tok)
+{
+    fatal_if(tok.size() < 2 || tok[0] != '$',
+             "bad register '", tok, "'");
+    std::string body = tok.substr(1);
+    auto it = regNames.find(body);
+    if (it != regNames.end())
+        return it->second;
+    fatal_if(!std::all_of(body.begin(), body.end(), [](char c) {
+                 return std::isdigit(static_cast<unsigned char>(c));
+             }),
+             "unknown register '", tok, "'");
+    unsigned n = static_cast<unsigned>(std::stoul(body));
+    fatal_if(n >= numRegs, "register out of range '", tok, "'");
+    return n;
+}
+
+Program
+assemble(const std::string &name, const std::string &source)
+{
+    // Pass 1: collect labels and raw statements.
+    struct Stmt
+    {
+        std::string mnemonic;
+        std::vector<std::string> operands;
+        unsigned line;
+    };
+    std::vector<Stmt> stmts;
+    std::map<std::string, std::size_t> labels;
+
+    std::istringstream in(source);
+    std::string raw;
+    unsigned line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = stripComment(raw);
+        // Labels (possibly several) at line start.
+        for (;;) {
+            auto first = line.find_first_not_of(" \t");
+            if (first == std::string::npos) {
+                line.clear();
+                break;
+            }
+            auto colon = line.find(':');
+            auto word_end = line.find_first_of(" \t", first);
+            if (colon != std::string::npos &&
+                (word_end == std::string::npos || colon < word_end)) {
+                std::string label = line.substr(first, colon - first);
+                fatal_if(label.empty(), name, ":", line_no,
+                         ": empty label");
+                fatal_if(labels.count(label), name, ":", line_no,
+                         ": duplicate label '", label, "'");
+                labels[label] = stmts.size();
+                line = line.substr(colon + 1);
+                continue;
+            }
+            break;
+        }
+        auto first = line.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        auto word_end = line.find_first_of(" \t", first);
+        Stmt s;
+        s.line = line_no;
+        s.mnemonic = line.substr(first, word_end == std::string::npos
+                                            ? std::string::npos
+                                            : word_end - first);
+        std::transform(s.mnemonic.begin(), s.mnemonic.end(),
+                       s.mnemonic.begin(), [](unsigned char c) {
+                           return std::tolower(c);
+                       });
+        if (word_end != std::string::npos)
+            s.operands = tokenize(line.substr(word_end));
+        stmts.push_back(std::move(s));
+    }
+
+    // Pass 2: encode.
+    Program prog;
+    prog.name = name;
+    for (std::size_t idx = 0; idx < stmts.size(); ++idx) {
+        const Stmt &s = stmts[idx];
+        std::string ctx = name + ":" + std::to_string(s.line);
+        auto it = mnemonics.find(s.mnemonic);
+        fatal_if(it == mnemonics.end(), ctx, ": unknown mnemonic '",
+                 s.mnemonic, "'");
+        const OpSpec &spec = it->second;
+        Instr in;
+        in.op = spec.op;
+        auto need = [&](std::size_t n) {
+            fatal_if(s.operands.size() != n, ctx, ": '", s.mnemonic,
+                     "' expects ", n, " operands, got ",
+                     s.operands.size());
+        };
+        auto label_target = [&](const std::string &tok) {
+            auto lit = labels.find(tok);
+            fatal_if(lit == labels.end(), ctx, ": undefined label '",
+                     tok, "'");
+            return static_cast<std::int32_t>(lit->second);
+        };
+        switch (spec.fmt) {
+          case 'R':
+            need(3);
+            in.rd = static_cast<std::uint8_t>(
+                parseRegister(s.operands[0]));
+            in.rs = static_cast<std::uint8_t>(
+                parseRegister(s.operands[1]));
+            in.rt = static_cast<std::uint8_t>(
+                parseRegister(s.operands[2]));
+            break;
+          case 'I':
+            need(3);
+            in.rd = static_cast<std::uint8_t>(
+                parseRegister(s.operands[0]));
+            in.rs = static_cast<std::uint8_t>(
+                parseRegister(s.operands[1]));
+            in.imm = parseImm(s.operands[2], ctx);
+            break;
+          case 'S':
+            need(2);
+            in.rd = static_cast<std::uint8_t>(
+                parseRegister(s.operands[0]));
+            in.imm = parseImm(s.operands[1], ctx);
+            break;
+          case 'M': {
+            need(2);
+            in.rd = static_cast<std::uint8_t>(
+                parseRegister(s.operands[0])); // rt for stores too
+            const std::string &mem = s.operands[1];
+            auto open = mem.find('(');
+            auto close = mem.find(')');
+            fatal_if(open == std::string::npos ||
+                     close == std::string::npos || close < open, ctx,
+                     ": bad memory operand '", mem, "'");
+            std::string off = mem.substr(0, open);
+            in.imm = off.empty() ? 0 : parseImm(off, ctx);
+            in.rs = static_cast<std::uint8_t>(
+                parseRegister(mem.substr(open + 1, close - open - 1)));
+            break;
+          }
+          case 'B':
+            need(3);
+            in.rs = static_cast<std::uint8_t>(
+                parseRegister(s.operands[0]));
+            in.rt = static_cast<std::uint8_t>(
+                parseRegister(s.operands[1]));
+            in.imm = label_target(s.operands[2]);
+            break;
+          case 'Z':
+            need(2);
+            in.rs = static_cast<std::uint8_t>(
+                parseRegister(s.operands[0]));
+            in.imm = label_target(s.operands[1]);
+            break;
+          case 'J':
+            need(1);
+            in.imm = label_target(s.operands[0]);
+            if (in.op == Op::Jal)
+                in.rd = 31;
+            break;
+          case 'r':
+            need(1);
+            in.rs = static_cast<std::uint8_t>(
+                parseRegister(s.operands[0]));
+            break;
+          case 'N':
+            need(0);
+            break;
+          case 'P': // move rd, rs  ->  addu rd, rs, $zero
+            need(2);
+            in.rd = static_cast<std::uint8_t>(
+                parseRegister(s.operands[0]));
+            in.rs = static_cast<std::uint8_t>(
+                parseRegister(s.operands[1]));
+            in.rt = 0;
+            break;
+          case 'L': // li rd, imm  ->  addiu rd, $zero, imm
+            need(2);
+            in.op = Op::Addiu;
+            in.rd = static_cast<std::uint8_t>(
+                parseRegister(s.operands[0]));
+            in.rs = 0;
+            in.imm = parseImm(s.operands[1], ctx);
+            break;
+          default:
+            panic("bad operand format spec");
+        }
+        prog.code.push_back(in);
+    }
+    fatal_if(prog.code.empty(), name, ": empty program");
+    return prog;
+}
+
+} // namespace mips
+} // namespace tengig

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A small two-pass assembler for the MIPS subset.
+ *
+ * Syntax (one instruction or label per line; '#' comments):
+ *
+ *     loop:                       # label
+ *         lw   $t0, 4($a0)        # load word, base+offset
+ *         addiu $t0, $t0, 1
+ *         sw   $t0, 4($a0)
+ *         bne  $t0, $t1, loop     # branch to label
+ *         nop                     # delay slot
+ *
+ * Registers accept numeric ($0..$31) and conventional names ($zero,
+ * $at, $v0-$v1, $a0-$a3, $t0-$t9, $s0-$s7, $k0-$k1, $gp, $sp, $fp,
+ * $ra).  Branch targets are labels; jumps take labels too.
+ */
+
+#ifndef TENGIG_MIPS_ASSEMBLER_HH
+#define TENGIG_MIPS_ASSEMBLER_HH
+
+#include <string>
+
+#include "src/mips/isa.hh"
+
+namespace tengig {
+namespace mips {
+
+/**
+ * Assemble @p source into a program.
+ *
+ * @param name Program name used in diagnostics.
+ * @throws FatalError on any syntax error, unknown mnemonic/register,
+ *         or undefined label.
+ */
+Program assemble(const std::string &name, const std::string &source);
+
+/** Parse a register designator ("$t0", "$4"); throws on error. */
+unsigned parseRegister(const std::string &tok);
+
+} // namespace mips
+} // namespace tengig
+
+#endif // TENGIG_MIPS_ASSEMBLER_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The MIPS R4000 subset the paper's processing cores implement.
+ *
+ * The evaluation's ILP limit study (Table 2) analyzes a dynamic
+ * instruction trace of firmware "compiled for a MIPS R4000 processor,
+ * which features one branch delay slot".  This module defines a
+ * faithful integer subset -- enough to express the firmware's
+ * descriptor parsing, ring arithmetic, flag scanning and checksum
+ * kernels -- together with an assembler (assembler.hh) and a
+ * functional machine (machine.hh) that executes programs and emits
+ * dynamic traces for the analyzer.
+ */
+
+#ifndef TENGIG_MIPS_ISA_HH
+#define TENGIG_MIPS_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tengig {
+namespace mips {
+
+/** Architectural register count ($0 hardwired to zero). */
+constexpr unsigned numRegs = 32;
+
+/** Supported operations (integer subset + one delay slot). */
+enum class Op : std::uint8_t
+{
+    // ALU register-register
+    Addu, Subu, And, Or, Xor, Nor, Slt, Sltu, Sllv, Srlv,
+    // ALU register-immediate
+    Addiu, Andi, Ori, Xori, Slti, Sltiu, Lui, Sll, Srl, Sra,
+    // Memory
+    Lw, Lb, Lbu, Sw, Sb,
+    // Control (one architectural delay slot each)
+    Beq, Bne, Blez, Bgtz, Bltz, Bgez, J, Jal, Jr,
+    // Pseudo
+    Nop,
+};
+
+/** One decoded instruction. */
+struct Instr
+{
+    Op op = Op::Nop;
+    std::uint8_t rd = 0; //!< destination register
+    std::uint8_t rs = 0; //!< first source
+    std::uint8_t rt = 0; //!< second source
+    std::int32_t imm = 0; //!< immediate / shift amount / target index
+};
+
+/** An assembled program: instructions plus label metadata. */
+struct Program
+{
+    std::vector<Instr> code;
+    std::string name;
+};
+
+/** @return true if @p op writes a destination register. */
+constexpr bool
+writesRegister(Op op)
+{
+    switch (op) {
+      case Op::Sw:
+      case Op::Sb:
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blez:
+      case Op::Bgtz:
+      case Op::Bltz:
+      case Op::Bgez:
+      case Op::J:
+      case Op::Jr:
+      case Op::Nop:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** @return true if @p op is a load. */
+constexpr bool
+isLoad(Op op)
+{
+    return op == Op::Lw || op == Op::Lb || op == Op::Lbu;
+}
+
+/** @return true if @p op is a store. */
+constexpr bool
+isStore(Op op)
+{
+    return op == Op::Sw || op == Op::Sb;
+}
+
+/** @return true if @p op is a control transfer (has a delay slot). */
+constexpr bool
+isBranch(Op op)
+{
+    switch (op) {
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blez:
+      case Op::Bgtz:
+      case Op::Bltz:
+      case Op::Bgez:
+      case Op::J:
+      case Op::Jal:
+      case Op::Jr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace mips
+} // namespace tengig
+
+#endif // TENGIG_MIPS_ISA_HH

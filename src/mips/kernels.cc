@@ -1,0 +1,229 @@
+#include "kernels.hh"
+
+#include "src/mips/assembler.hh"
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace tengig {
+namespace mips {
+
+namespace {
+
+/**
+ * Validate a batch of buffer descriptors.
+ * $a0 = descriptor array base, $a1 = descriptor count.
+ * Each 16-byte BD: [addr_lo, addr_hi, len, flags].
+ * Checks len != 0, len <= 1518, accumulates a valid count in $v0.
+ */
+const char *parseBdsAsm = R"(
+        li      $v0, 0              # valid count
+        li      $t9, 1518           # max frame bytes
+        blez    $a1, done
+        nop
+loop:   lw      $t0, 8($a0)         # len
+        lw      $t1, 12($a0)        # flags
+        blez    $t0, skip           # len == 0: invalid
+        nop
+        slt     $t2, $t9, $t0       # len > 1518?
+        bne     $t2, $zero, skip
+        nop
+        andi    $t3, $t1, 3         # first/last flags sane
+        addiu   $v0, $v0, 1
+        sw      $t3, 12($a0)        # normalized flags
+skip:   addiu   $a1, $a1, -1
+        addiu   $a0, $a0, 16
+        bgtz    $a1, loop
+        nop
+done:   jr      $ra
+        nop
+)";
+
+/**
+ * Scan a status bit-array for consecutive set bits from a start
+ * index, clearing them -- the software-only ordering loop.
+ * $a0 = word array base, $a1 = start bit, $a2 = max bits to scan.
+ * Returns count of consecutive set bits cleared in $v0.
+ */
+const char *scanFlagsAsm = R"(
+        li      $v0, 0
+loop:   blez    $a2, done
+        nop
+        srl     $t0, $a1, 5         # word index
+        sll     $t0, $t0, 2
+        addu    $t0, $a0, $t0
+        lw      $t1, 0($t0)         # flag word
+        andi    $t2, $a1, 31        # bit within word
+        li      $t3, 1
+        sllv    $t3, $t2, $t3       # mask = 1 << bit
+        and     $t4, $t1, $t3
+        beq     $t4, $zero, done    # run ended
+        nop
+        nor     $t5, $t3, $zero     # ~mask
+        and     $t1, $t1, $t5
+        sw      $t1, 0($t0)         # clear the bit
+        addiu   $v0, $v0, 1
+        addiu   $a1, $a1, 1
+        addiu   $a2, $a2, -1
+        j       loop
+        nop
+done:   jr      $ra
+        nop
+)";
+
+/**
+ * 16-bit ones-complement checksum over a header.
+ * $a0 = base, $a1 = byte count (even). Result in $v0.
+ */
+const char *checksumAsm = R"(
+        li      $v0, 0
+        blez    $a1, fold
+        nop
+loop:   lbu     $t0, 0($a0)
+        lbu     $t1, 1($a0)
+        sll     $t0, $t0, 8
+        or      $t0, $t0, $t1
+        addu    $v0, $v0, $t0
+        addiu   $a0, $a0, 2
+        addiu   $a1, $a1, -2
+        bgtz    $a1, loop
+        nop
+fold:   srl     $t2, $v0, 16
+        andi    $v0, $v0, 0xffff
+        addu    $v0, $v0, $t2
+        srl     $t2, $v0, 16
+        andi    $v0, $v0, 0xffff
+        addu    $v0, $v0, $t2
+        nor     $v0, $v0, $zero
+        andi    $v0, $v0, 0xffff
+        jr      $ra
+        nop
+)";
+
+/**
+ * Ring-index update: consume $a2 entries from a ring of size $a3
+ * (power of two), writing back head/tail words.
+ * $a0 = ring control block: [head, tail, mask, count].
+ */
+const char *ringMathAsm = R"(
+        lw      $t0, 0($a0)         # head
+        lw      $t1, 8($a0)         # mask
+        lw      $t2, 12($a0)        # count
+        addu    $t0, $t0, $a2       # head += n
+        and     $t0, $t0, $t1
+        subu    $t2, $t2, $a2
+        sw      $t0, 0($a0)
+        sw      $t2, 12($a0)
+        lw      $t3, 4($a0)         # tail
+        subu    $t4, $t3, $t0       # occupancy check
+        bgez    $t4, ok
+        nop
+        addu    $t4, $t4, $t1       # wrapped
+        addiu   $t4, $t4, 1
+ok:     sw      $t4, 12($a0)
+        jr      $ra
+        nop
+)";
+
+/**
+ * Dispatch poll: walk $a1 progress-pointer pairs at $a0, counting
+ * sources with new work in $v0 (each pair: [hardware, software]).
+ */
+const char *dispatchAsm = R"(
+        li      $v0, 0
+        blez    $a1, done
+        nop
+loop:   lw      $t0, 0($a0)         # hardware progress
+        lw      $t1, 4($a0)         # software progress
+        subu    $t2, $t0, $t1
+        blez    $t2, next           # nothing new
+        nop
+        addiu   $v0, $v0, 1
+next:   addiu   $a0, $a0, 8
+        addiu   $a1, $a1, -1
+        bgtz    $a1, loop
+        nop
+done:   jr      $ra
+        nop
+)";
+
+} // namespace
+
+FirmwareKernels
+assembleKernels()
+{
+    FirmwareKernels k;
+    k.parseBds = assemble("parse_bds", parseBdsAsm);
+    k.scanFlags = assemble("scan_flags", scanFlagsAsm);
+    k.checksum = assemble("checksum", checksumAsm);
+    k.ringMath = assemble("ring_math", ringMathAsm);
+    k.dispatch = assemble("dispatch", dispatchAsm);
+    return k;
+}
+
+ilp::InstrTrace
+firmwareKernelTrace(std::size_t min_instrs)
+{
+    FirmwareKernels k = assembleKernels();
+    Machine m;
+    ilp::InstrTrace trace;
+    trace.reserve(min_instrs + 1024);
+
+    // Lay out synthetic state: descriptors at 0x1000, flags at
+    // 0x3000, a 42-byte header at 0x4000, ring block at 0x5000,
+    // progress pairs at 0x6000.
+    Rng rng(0x10c);
+    std::uint32_t round = 0;
+    while (trace.size() < min_instrs) {
+        // Fresh descriptor batch (4 per "frame" round: 2 frames).
+        for (unsigned d = 0; d < 4; ++d) {
+            m.storeWord(0x1000 + d * 16 + 8,
+                        42 + static_cast<std::uint32_t>(
+                            rng.below(1477)));
+            m.storeWord(0x1000 + d * 16 + 12,
+                        static_cast<std::uint32_t>(rng.below(4)));
+        }
+        // Status flags with a short consecutive run.
+        unsigned run = 1 + static_cast<unsigned>(rng.below(6));
+        std::uint32_t start = round % 32;
+        std::uint32_t w = 0;
+        for (unsigned b = 0; b < run && start + b < 32; ++b)
+            w |= 1u << (start + b);
+        m.storeWord(0x3000, w);
+        // Header bytes.
+        for (unsigned b = 0; b < 42; b += 4)
+            m.storeWord(0x4000 + b,
+                        static_cast<std::uint32_t>(rng.next()));
+        // Ring control block and progress pairs.
+        m.storeWord(0x5000 + 0, round & 255);
+        m.storeWord(0x5000 + 4, (round + 13) & 255);
+        m.storeWord(0x5000 + 8, 255);
+        m.storeWord(0x5000 + 12, 13);
+        for (unsigned p = 0; p < 7; ++p) {
+            m.storeWord(0x6000 + p * 8,
+                        round + static_cast<std::uint32_t>(
+                            rng.below(3)));
+            m.storeWord(0x6000 + p * 8 + 4, round);
+        }
+
+        auto call = [&](const Program &prog, std::uint32_t a0,
+                        std::uint32_t a1, std::uint32_t a2 = 0) {
+            m.setReg(4, a0);
+            m.setReg(5, a1);
+            m.setReg(6, a2);
+            m.setReg(31, Machine::returnSentinel);
+            m.run(prog, 100000, &trace);
+        };
+
+        call(k.dispatch, 0x6000, 7);
+        call(k.parseBds, 0x1000, 4);
+        call(k.ringMath, 0x5000, 0, 2);
+        call(k.checksum, 0x4000, 42);
+        call(k.scanFlags, 0x3000, start, 32);
+        ++round;
+    }
+    return trace;
+}
+
+} // namespace mips
+} // namespace tengig

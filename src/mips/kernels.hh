@@ -1,0 +1,48 @@
+/**
+ * @file
+ * NIC firmware kernels written in the MIPS subset.
+ *
+ * These are the inner loops that dominate the firmware's dynamic
+ * instruction stream: buffer-descriptor validation, ring-index
+ * arithmetic, status-flag scanning (the software-only ordering loop
+ * the paper's update instruction replaces), a header checksum, and
+ * the dispatch poll.  A driver assembles them, runs them on the
+ * functional machine against descriptor data laid out in its memory,
+ * and concatenates the resulting dynamic traces into the
+ * firmware-shaped instruction stream the Table 2 limit study analyzes
+ * -- the same structure as the paper's "offline analysis of a dynamic
+ * instruction trace of idealized NIC firmware".
+ */
+
+#ifndef TENGIG_MIPS_KERNELS_HH
+#define TENGIG_MIPS_KERNELS_HH
+
+#include "src/mips/machine.hh"
+
+namespace tengig {
+namespace mips {
+
+/** Assembled firmware kernels, ready to run. */
+struct FirmwareKernels
+{
+    Program parseBds;    //!< validate a batch of buffer descriptors
+    Program scanFlags;   //!< find/clear consecutive status bits
+    Program checksum;    //!< 16-bit ones-complement header sum
+    Program ringMath;    //!< producer/consumer ring-index updates
+    Program dispatch;    //!< progress-pointer polling loop
+};
+
+/** Assemble all kernels. */
+FirmwareKernels assembleKernels();
+
+/**
+ * Produce a dynamic firmware trace of at least @p min_instrs
+ * instructions by running the kernels round-robin over synthetic
+ * descriptor data (one round models one frame's processing).
+ */
+ilp::InstrTrace firmwareKernelTrace(std::size_t min_instrs);
+
+} // namespace mips
+} // namespace tengig
+
+#endif // TENGIG_MIPS_KERNELS_HH

@@ -1,0 +1,273 @@
+#include "machine.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace tengig {
+namespace mips {
+
+Machine::Machine(std::size_t mem_bytes) : mem(mem_bytes, 0)
+{}
+
+void
+Machine::setReg(unsigned r, std::uint32_t v)
+{
+    panic_if(r >= numRegs, "bad register ", r);
+    if (r != 0)
+        regs[r] = v;
+}
+
+void
+Machine::checkAddr(std::uint32_t addr, unsigned bytes) const
+{
+    panic_if(addr + bytes > mem.size(),
+             "mips memory access out of range: addr=", addr);
+    panic_if(bytes == 4 && (addr & 3), "unaligned word access: ", addr);
+}
+
+std::uint32_t
+Machine::loadWord(std::uint32_t addr) const
+{
+    checkAddr(addr, 4);
+    std::uint32_t v;
+    std::memcpy(&v, mem.data() + addr, 4);
+    return v;
+}
+
+void
+Machine::storeWord(std::uint32_t addr, std::uint32_t v)
+{
+    checkAddr(addr, 4);
+    std::memcpy(mem.data() + addr, &v, 4);
+}
+
+std::uint8_t
+Machine::loadByte(std::uint32_t addr) const
+{
+    checkAddr(addr, 1);
+    return mem[addr];
+}
+
+void
+Machine::storeByte(std::uint32_t addr, std::uint8_t v)
+{
+    checkAddr(addr, 1);
+    mem[addr] = v;
+}
+
+std::uint64_t
+Machine::run(const Program &prog, std::uint64_t max_instrs,
+             ilp::InstrTrace *trace)
+{
+    const auto &code = prog.code;
+    std::uint64_t retired = 0;
+    std::size_t pc = 0;
+
+    // Delay-slot bookkeeping: after a taken/untaken branch executes,
+    // the *next* instruction (the slot) always executes, then control
+    // transfers if the branch was taken.
+    bool branch_pending = false;
+    std::size_t branch_target = 0;
+
+    auto emit = [&](const Instr &in) {
+        if (!trace)
+            return;
+        ilp::TraceInstr t;
+        if (isLoad(in.op))
+            t.cls = ilp::InstrClass::Load;
+        else if (isStore(in.op))
+            t.cls = ilp::InstrClass::Store;
+        else if (isBranch(in.op))
+            t.cls = ilp::InstrClass::Branch;
+        else
+            t.cls = ilp::InstrClass::Alu;
+
+        // True register operands (skip $zero: it is never a real
+        // dependence).
+        switch (in.op) {
+          case Op::Sw:
+          case Op::Sb:
+            t.src0 = in.rs ? in.rs : -1; // address base
+            t.src1 = in.rd ? in.rd : -1; // stored value
+            break;
+          case Op::Beq:
+          case Op::Bne:
+            t.src0 = in.rs ? in.rs : -1;
+            t.src1 = in.rt ? in.rt : -1;
+            break;
+          case Op::Blez:
+          case Op::Bgtz:
+          case Op::Bltz:
+          case Op::Bgez:
+          case Op::Jr:
+            t.src0 = in.rs ? in.rs : -1;
+            break;
+          case Op::J:
+          case Op::Jal:
+          case Op::Nop:
+            break;
+          case Op::Lui:
+            break;
+          case Op::Sll:
+          case Op::Srl:
+          case Op::Sra:
+          case Op::Addiu:
+          case Op::Andi:
+          case Op::Ori:
+          case Op::Xori:
+          case Op::Slti:
+          case Op::Sltiu:
+          case Op::Lw:
+          case Op::Lb:
+          case Op::Lbu:
+            t.src0 = in.rs ? in.rs : -1;
+            break;
+          default: // three-register ALU
+            t.src0 = in.rs ? in.rs : -1;
+            t.src1 = in.rt ? in.rt : -1;
+            break;
+        }
+        if (writesRegister(in.op) && in.rd != 0)
+            t.dst = in.rd;
+        trace->push_back(t);
+    };
+
+    while (pc < code.size() && retired < max_instrs) {
+        const Instr &in = code[pc];
+        ++retired;
+        emit(in);
+
+        bool take_branch_now = branch_pending;
+        branch_pending = false;
+
+        std::uint32_t rs = regs[in.rs];
+        std::uint32_t rt = regs[in.rt];
+        auto set = [&](std::uint32_t v) { setReg(in.rd, v); };
+
+        switch (in.op) {
+          case Op::Addu: set(rs + rt); break;
+          case Op::Subu: set(rs - rt); break;
+          case Op::And: set(rs & rt); break;
+          case Op::Or: set(rs | rt); break;
+          case Op::Xor: set(rs ^ rt); break;
+          case Op::Nor: set(~(rs | rt)); break;
+          case Op::Slt:
+            set(static_cast<std::int32_t>(rs) <
+                static_cast<std::int32_t>(rt));
+            break;
+          case Op::Sltu: set(rs < rt); break;
+          case Op::Sllv: set(rt << (rs & 31)); break;
+          case Op::Srlv: set(rt >> (rs & 31)); break;
+          case Op::Addiu:
+            set(rs + static_cast<std::uint32_t>(in.imm));
+            break;
+          case Op::Andi:
+            set(rs & static_cast<std::uint32_t>(in.imm) & 0xffff);
+            break;
+          case Op::Ori:
+            set(rs | (static_cast<std::uint32_t>(in.imm) & 0xffff));
+            break;
+          case Op::Xori:
+            set(rs ^ (static_cast<std::uint32_t>(in.imm) & 0xffff));
+            break;
+          case Op::Slti:
+            set(static_cast<std::int32_t>(rs) < in.imm);
+            break;
+          case Op::Sltiu:
+            set(rs < static_cast<std::uint32_t>(in.imm));
+            break;
+          case Op::Lui:
+            set(static_cast<std::uint32_t>(in.imm) << 16);
+            break;
+          case Op::Sll: set(rs << (in.imm & 31)); break;
+          case Op::Srl: set(rs >> (in.imm & 31)); break;
+          case Op::Sra:
+            set(static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(rs) >> (in.imm & 31)));
+            break;
+          case Op::Lw:
+            set(loadWord(rs + static_cast<std::uint32_t>(in.imm)));
+            break;
+          case Op::Lb:
+            set(static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                static_cast<std::int8_t>(
+                    loadByte(rs + static_cast<std::uint32_t>(in.imm))))));
+            break;
+          case Op::Lbu:
+            set(loadByte(rs + static_cast<std::uint32_t>(in.imm)));
+            break;
+          case Op::Sw:
+            storeWord(rs + static_cast<std::uint32_t>(in.imm),
+                      regs[in.rd]);
+            break;
+          case Op::Sb:
+            storeByte(rs + static_cast<std::uint32_t>(in.imm),
+                      static_cast<std::uint8_t>(regs[in.rd]));
+            break;
+          case Op::Beq:
+            if (rs == rt) {
+                branch_pending = true;
+                branch_target = static_cast<std::size_t>(in.imm);
+            }
+            break;
+          case Op::Bne:
+            if (rs != rt) {
+                branch_pending = true;
+                branch_target = static_cast<std::size_t>(in.imm);
+            }
+            break;
+          case Op::Blez:
+            if (static_cast<std::int32_t>(rs) <= 0) {
+                branch_pending = true;
+                branch_target = static_cast<std::size_t>(in.imm);
+            }
+            break;
+          case Op::Bgtz:
+            if (static_cast<std::int32_t>(rs) > 0) {
+                branch_pending = true;
+                branch_target = static_cast<std::size_t>(in.imm);
+            }
+            break;
+          case Op::Bltz:
+            if (static_cast<std::int32_t>(rs) < 0) {
+                branch_pending = true;
+                branch_target = static_cast<std::size_t>(in.imm);
+            }
+            break;
+          case Op::Bgez:
+            if (static_cast<std::int32_t>(rs) >= 0) {
+                branch_pending = true;
+                branch_target = static_cast<std::size_t>(in.imm);
+            }
+            break;
+          case Op::J:
+            branch_pending = true;
+            branch_target = static_cast<std::size_t>(in.imm);
+            break;
+          case Op::Jal:
+            // Link past the delay slot, as the R4000 does.
+            setReg(31, static_cast<std::uint32_t>(pc + 2));
+            branch_pending = true;
+            branch_target = static_cast<std::size_t>(in.imm);
+            break;
+          case Op::Jr:
+            if (rs == returnSentinel)
+                return retired; // subroutine return to host
+            branch_pending = true;
+            branch_target = static_cast<std::size_t>(rs);
+            break;
+          case Op::Nop:
+            break;
+        }
+
+        if (take_branch_now)
+            pc = branch_target;
+        else
+            ++pc;
+    }
+    return retired;
+}
+
+} // namespace mips
+} // namespace tengig

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Functional MIPS-subset machine with R4000 delay-slot semantics.
+ *
+ * Executes assembled programs against a flat data memory, counting
+ * dynamic instructions and optionally emitting the dynamic trace
+ * (with true register dependences) consumed by the ILP limit-study
+ * analyzer -- the same methodology the paper used to produce Table 2.
+ */
+
+#ifndef TENGIG_MIPS_MACHINE_HH
+#define TENGIG_MIPS_MACHINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/ilp/ilp_analyzer.hh"
+#include "src/mips/isa.hh"
+
+namespace tengig {
+namespace mips {
+
+/**
+ * The machine: 32 registers, word-addressable little-endian memory.
+ */
+class Machine
+{
+  public:
+    explicit Machine(std::size_t mem_bytes = 64 * 1024);
+
+    /// @name Architectural state access
+    /// @{
+    std::uint32_t reg(unsigned r) const { return regs[r]; }
+    void setReg(unsigned r, std::uint32_t v);
+    std::uint32_t loadWord(std::uint32_t addr) const;
+    void storeWord(std::uint32_t addr, std::uint32_t v);
+    std::uint8_t loadByte(std::uint32_t addr) const;
+    void storeByte(std::uint32_t addr, std::uint8_t v);
+    std::size_t memSize() const { return mem.size(); }
+    /// @}
+
+    /**
+     * Run @p prog from instruction 0 until it falls off the end, a
+     * `jr $ra` with $ra == returnSentinel executes, or @p max_instrs
+     * dynamic instructions retire.
+     *
+     * @param trace If non-null, every retired instruction is appended
+     *        as an ilp::TraceInstr with its true register operands.
+     * @return Dynamic instruction count.
+     */
+    std::uint64_t run(const Program &prog,
+                      std::uint64_t max_instrs = 1'000'000,
+                      ilp::InstrTrace *trace = nullptr);
+
+    /** $ra value meaning "return to caller" for jr. */
+    static constexpr std::uint32_t returnSentinel = 0xfffffffc;
+
+  private:
+    void checkAddr(std::uint32_t addr, unsigned bytes) const;
+
+    std::vector<std::uint8_t> mem;
+    std::uint32_t regs[numRegs] = {};
+};
+
+} // namespace mips
+} // namespace tengig
+
+#endif // TENGIG_MIPS_MACHINE_HH

@@ -1,0 +1,79 @@
+#include "endpoints.hh"
+
+#include "sim/logging.hh"
+
+namespace tengig {
+
+FrameSource::FrameSource(EventQueue &eq_, unsigned payload_bytes,
+                         double rate, std::function<bool(FrameData &&)>
+                         sink_)
+    : eq(eq_), payloadBytes(payload_bytes), sink(std::move(sink_))
+{
+    fatal_if(rate <= 0.0 || rate > 1.0,
+             "offered rate must be in (0, 1], got ", rate);
+    unsigned frame = frameBytesForPayload(payload_bytes);
+    interArrival = static_cast<Tick>(
+        static_cast<double>(wireTimeForFrame(frame)) / rate + 0.5);
+}
+
+void
+FrameSource::start(Tick start_tick)
+{
+    running = true;
+    Tick at = std::max(start_tick, eq.curTick());
+    eq.schedule(at, [this] { generateNext(); },
+                EventPriority::HardwareProgress);
+}
+
+void
+FrameSource::generateNext()
+{
+    if (!running)
+        return;
+    if (limit && offered.value() >= limit) {
+        running = false;
+        return;
+    }
+
+    unsigned frame = frameBytesForPayload(payloadBytes);
+    FrameData fd;
+    fd.bytes.resize(frame - ethCrcBytes);
+    // Header region: deterministic filler standing in for the Ethernet/
+    // IP/UDP headers of this datagram.
+    for (unsigned i = 0; i < txHeaderBytes; ++i)
+        fd.bytes[i] = static_cast<std::uint8_t>(0x40 + (i * 7 + nextSeq));
+    fillPayload(fd.bytes.data() + txHeaderBytes,
+                static_cast<unsigned>(fd.bytes.size()) - txHeaderBytes,
+                nextSeq);
+    ++nextSeq;
+    ++offered;
+    if (!sink(std::move(fd)))
+        ++dropped;
+
+    eq.scheduleIn(interArrival, [this] { generateNext(); },
+                  EventPriority::HardwareProgress);
+}
+
+void
+FrameSink::deliver(const std::uint8_t *bytes, unsigned len)
+{
+    ++frames;
+    if (len <= txHeaderBytes) {
+        ++badPayload;
+        return;
+    }
+    unsigned plen = len - txHeaderBytes;
+    payload += plen;
+    std::uint32_t seq = 0;
+    if (!checkPayload(bytes + txHeaderBytes, plen, seq)) {
+        ++badPayload;
+        return;
+    }
+    // The transmit path never drops, so any deviation from the exact
+    // posting order is a violation.
+    if (seq != expected)
+        ++outOfOrder;
+    expected = seq + 1;
+}
+
+} // namespace tengig

@@ -1,0 +1,59 @@
+#include "frame.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace tengig {
+
+namespace {
+
+/** FNV-1a over the pattern region. */
+std::uint32_t
+patternHash(const std::uint8_t *data, unsigned len)
+{
+    std::uint32_t h = 2166136261u;
+    for (unsigned i = 0; i < len; ++i) {
+        h ^= data[i];
+        h *= 16777619u;
+    }
+    return h;
+}
+
+constexpr unsigned headerWords = 4; // seq, len, hash, pad
+
+} // namespace
+
+void
+fillPayload(std::uint8_t *payload, unsigned len, std::uint32_t seq)
+{
+    panic_if(len < headerWords * 4,
+             "payload too small for integrity header: ", len);
+    unsigned pattern_len = len - headerWords * 4;
+    std::uint8_t *pattern = payload + headerWords * 4;
+    // Deterministic pattern derived from the sequence number.
+    std::uint32_t x = seq * 2654435761u + 12345u;
+    for (unsigned i = 0; i < pattern_len; ++i) {
+        x = x * 1664525u + 1013904223u;
+        pattern[i] = static_cast<std::uint8_t>(x >> 24);
+    }
+    std::uint32_t hash = patternHash(pattern, pattern_len);
+    std::uint32_t words[headerWords] = {seq, len, hash, 0xfeedc0deu};
+    std::memcpy(payload, words, sizeof(words));
+}
+
+bool
+checkPayload(const std::uint8_t *payload, unsigned len, std::uint32_t &seq)
+{
+    if (len < headerWords * 4)
+        return false;
+    std::uint32_t words[headerWords];
+    std::memcpy(words, payload, sizeof(words));
+    seq = words[0];
+    if (words[1] != len || words[3] != 0xfeedc0deu)
+        return false;
+    unsigned pattern_len = len - headerWords * 4;
+    return patternHash(payload + headerWords * 4, pattern_len) == words[2];
+}
+
+} // namespace tengig

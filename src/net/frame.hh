@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Ethernet / UDP frame sizing helpers and the payload integrity scheme
+ * used by the end-to-end checks.
+ *
+ * The paper's workloads are full-duplex streams of UDP datagrams.  A
+ * UDP payload of p bytes becomes an Ethernet frame of
+ * max(64, p + 46) bytes on the wire (14 Ethernet + 20 IP + 8 UDP + 4
+ * CRC = 46 bytes of overhead), so the paper's 1472-byte datagrams are
+ * maximum-sized 1518-byte frames.  Each frame additionally occupies 8
+ * preamble and 12 inter-frame-gap byte times on the 10 Gb/s link,
+ * which yields the 812,744 frames/s line rate the paper quotes.
+ */
+
+#ifndef TENGIG_NET_FRAME_HH
+#define TENGIG_NET_FRAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tengig {
+
+/// Ethernet constants (bytes).
+constexpr unsigned ethHeaderBytes = 14;
+constexpr unsigned ipHeaderBytes = 20;
+constexpr unsigned udpHeaderBytes = 8;
+constexpr unsigned ethCrcBytes = 4;
+constexpr unsigned ethMinFrameBytes = 64;
+constexpr unsigned ethMaxFrameBytes = 1518;
+constexpr unsigned ethPreambleBytes = 8;
+constexpr unsigned ethIfgBytes = 12;
+
+/** Protocol + driver header region a sent frame keeps separate from its
+ *  payload (the paper: "the header is only 42 bytes"). */
+constexpr unsigned txHeaderBytes =
+    ethHeaderBytes + ipHeaderBytes + udpHeaderBytes; // 42
+
+/** Maximum UDP payload in a standard frame. */
+constexpr unsigned udpMaxPayloadBytes =
+    ethMaxFrameBytes - txHeaderBytes - ethCrcBytes; // 1472
+
+/** Wire-level overhead per UDP datagram. */
+constexpr unsigned framingOverheadBytes = txHeaderBytes + ethCrcBytes; // 46
+
+/** Ethernet frame length (incl. CRC) for a UDP payload of @p p bytes. */
+constexpr unsigned
+frameBytesForPayload(unsigned p)
+{
+    unsigned f = p + framingOverheadBytes;
+    return f < ethMinFrameBytes ? ethMinFrameBytes : f;
+}
+
+/** On-wire byte times a frame of @p frame_bytes occupies. */
+constexpr unsigned
+wireBytesForFrame(unsigned frame_bytes)
+{
+    return frame_bytes + ethPreambleBytes + ethIfgBytes;
+}
+
+/** Byte time on a 10 Gb/s link: 0.8 ns. */
+constexpr Tick byteTime10G = 800; // ticks (ps)
+
+/** Time a frame occupies the 10 Gb/s wire. */
+constexpr Tick
+wireTimeForFrame(unsigned frame_bytes)
+{
+    return static_cast<Tick>(wireBytesForFrame(frame_bytes)) *
+           byteTime10G;
+}
+
+/** Frames per second at 10 Gb/s line rate for a given frame size. */
+constexpr double
+lineRateFps(unsigned frame_bytes)
+{
+    return 1e12 / static_cast<double>(wireTimeForFrame(frame_bytes));
+}
+
+/** UDP goodput in Gb/s at line rate for a given payload size. */
+inline double
+lineRateUdpGbps(unsigned payload_bytes)
+{
+    return lineRateFps(frameBytesForPayload(payload_bytes)) *
+           payload_bytes * 8.0 / 1e9;
+}
+
+/**
+ * A frame as it exists in the simulation: real bytes.  The first 16
+ * payload bytes carry a sequence number, the payload length, and a
+ * checksum over the rest, letting every consumer validate integrity
+ * and ordering after the full host-memory -> SDRAM -> wire journey.
+ */
+struct FrameData
+{
+    std::vector<std::uint8_t> bytes; //!< header + payload (no CRC)
+
+    unsigned
+    frameBytes() const
+    {
+        // On-wire length includes CRC.
+        unsigned f = static_cast<unsigned>(bytes.size()) + ethCrcBytes;
+        return f < ethMinFrameBytes ? ethMinFrameBytes : f;
+    }
+};
+
+/** Fill a payload buffer with seq + len + checksum + pattern. */
+void fillPayload(std::uint8_t *payload, unsigned len, std::uint32_t seq);
+
+/**
+ * Validate a payload produced by fillPayload.
+ *
+ * @param[out] seq The embedded sequence number.
+ * @retval true if length and checksum match.
+ */
+bool checkPayload(const std::uint8_t *payload, unsigned len,
+                  std::uint32_t &seq);
+
+} // namespace tengig
+
+#endif // TENGIG_NET_FRAME_HH

@@ -1,0 +1,313 @@
+#include "controller.hh"
+
+#include "firmware/calibration.hh"
+#include "firmware/event_register.hh"
+
+namespace tengig {
+
+NicController::NicController(const NicConfig &cfg_) : cfg(cfg_)
+{
+    build();
+}
+
+NicController::~NicController() = default;
+
+void
+NicController::build()
+{
+    cpuClk = std::make_unique<ClockDomain>("cpu",
+                                           periodFromMhz(cfg.cpuMhz));
+    busClk = std::make_unique<ClockDomain>("membus",
+                                           periodFromMhz(cfg.memBusMhz));
+
+    unsigned P = cfg.cores;
+    const unsigned spadRequesters = P + 4;
+
+    hostMem = std::make_unique<HostMemory>();
+    spad = std::make_unique<Scratchpad>(eq, *cpuClk, spadRequesters,
+                                        cfg.scratchpadBytes,
+                                        cfg.scratchpadBanks);
+    GddrSdram::Config rc;
+    rc.capacity = cfg.sdramBytes;
+    rc.numRequesters = 5;
+    ram = std::make_unique<GddrSdram>(eq, *busClk, rc);
+    imem = std::make_unique<InstructionMemory>(*cpuClk);
+
+    // SDRAM frame-buffer layout: transmit slots then receive slots.
+    txBufSdram = 0;
+    rxBufSdram = static_cast<Addr>(cfg.firmware.txSlots) *
+        cfg.firmware.slotBytes;
+    fatal_if(rxBufSdram + static_cast<Addr>(cfg.firmware.rxSlots) *
+             cfg.firmware.slotBytes > cfg.sdramBytes,
+             "sdram too small for the configured frame slots");
+
+    DeviceDriver::Config dc;
+    dc.sendRingFrames = cfg.sendRingFrames;
+    dc.recvPoolBuffers = cfg.recvPoolBuffers;
+    dc.txPayloadBytes = cfg.txPayloadBytes;
+    dc.tsoSegments = cfg.firmware.tsoSegments;
+    driver = std::make_unique<DeviceDriver>(*hostMem, dc);
+
+    // Crossbar requester ids: cores 0..P-1, then the four assists.
+    AssistIds ids{P + 0, P + 1, P + 2, P + 3};
+    // Internal-bus requester ids.
+    constexpr unsigned sdDmaRd = 0, sdDmaWr = 1, sdMacTx = 2,
+        sdMacRx = 3;
+
+    dmaRead = std::make_unique<DmaAssist>(eq, *cpuClk, *spad, *ram,
+                                          *hostMem, ids.dmaRead, sdDmaRd,
+                                          cfg.dmaFifoDepth);
+    dmaWrite = std::make_unique<DmaAssist>(eq, *cpuClk, *spad, *ram,
+                                           *hostMem, ids.dmaWrite,
+                                           sdDmaWr, cfg.dmaFifoDepth);
+    macTx = std::make_unique<MacTx>(eq, *cpuClk, *ram, sink, sdMacTx,
+                                    cfg.macTxFifoDepth);
+
+    fwState = std::make_unique<FwState>(*spad, cfg.firmware);
+    tasks = std::make_unique<FwTasks>(*fwState, *dmaRead, *dmaWrite,
+                                      *macTx, *driver, *hostMem,
+                                      txBufSdram, rxBufSdram, ids);
+
+    macRx = std::make_unique<MacRx>(
+        eq, *cpuClk, *ram, sdMacRx,
+        [this](unsigned len) { return tasks->allocRxSlot(len); },
+        [this](const MacRx::StoredFrame &sf) { tasks->rxFrameStored(sf); });
+
+    source = std::make_unique<FrameSource>(
+        eq, cfg.rxPayloadBytes, cfg.rxOfferedRate,
+        [this](FrameData &&fd) {
+            return macRx->frameArrived(std::move(fd));
+        });
+
+    driver->onSendDoorbell([this](std::uint64_t bds) {
+        tasks->sendDoorbell(bds);
+    });
+    driver->onRecvDoorbell([this](std::uint64_t bds) {
+        tasks->recvDoorbell(bds);
+    });
+
+    fatal_if(cfg.taskLevelFirmware && cfg.firmware.idealMode,
+             "task-level firmware has no ideal mode");
+    if (cfg.taskLevelFirmware)
+        dispatcher = std::make_unique<EventRegisterDispatcher>(*tasks, P);
+    else
+        dispatcher = std::make_unique<FrameLevelDispatcher>(*tasks);
+
+    CodeLayout layout = CodeLayout::uniform(cal::codeRegionBytes);
+    for (unsigned i = 0; i < P; ++i) {
+        icaches.push_back(std::make_unique<ICache>(
+            *imem, cfg.icacheBytes, cfg.icacheAssoc,
+            cfg.icacheLineBytes));
+        cores.push_back(std::make_unique<Core>(eq, *cpuClk, i,
+                                               *dispatcher, *spad,
+                                               *icaches.back(), layout,
+                                               profile));
+    }
+}
+
+void
+NicController::startCores()
+{
+    for (auto &c : cores)
+        c->start();
+}
+
+void
+NicController::stopCores()
+{
+    for (auto &c : cores)
+        c->stop();
+}
+
+void
+NicController::resetAllStats()
+{
+    for (auto &c : cores)
+        c->resetStats();
+    profile.reset();
+}
+
+NicResults
+NicController::collect(Tick measured, std::uint64_t tx0_frames,
+                       std::uint64_t tx0_payload,
+                       std::uint64_t rx0_frames,
+                       std::uint64_t rx0_payload)
+{
+    NicResults r;
+    r.measuredTicks = measured;
+    double secs = static_cast<double>(measured) / tickPerSec;
+
+    r.txFrames = sink.framesReceived() - tx0_frames;
+    std::uint64_t tx_payload = sink.payloadBytesReceived() - tx0_payload;
+    r.rxFrames = driver->rxFramesDelivered() - rx0_frames;
+    std::uint64_t rx_payload = driver->rxPayloadBytes() - rx0_payload;
+
+    if (secs > 0) {
+        r.txUdpGbps = tx_payload * 8.0 / secs / 1e9;
+        r.rxUdpGbps = rx_payload * 8.0 / secs / 1e9;
+        r.txFps = r.txFrames / secs;
+        r.rxFps = r.rxFrames / secs;
+    }
+    r.totalUdpGbps = r.txUdpGbps + r.rxUdpGbps;
+    r.rxDropped = source->framesDropped() + macRx->framesDropped();
+    r.errors = sink.integrityErrors() + sink.orderErrors() +
+        driver->rxIntegrityErrors() + driver->rxOrderErrors();
+
+    for (auto &c : cores) {
+        const CoreStats &s = c->stats();
+        r.coreTotals.instructions += s.instructions;
+        r.coreTotals.executeCycles += s.executeCycles;
+        r.coreTotals.imissCycles += s.imissCycles;
+        r.coreTotals.loadStallCycles += s.loadStallCycles;
+        r.coreTotals.conflictCycles += s.conflictCycles;
+        r.coreTotals.pipelineCycles += s.pipelineCycles;
+        r.coreTotals.idleCycles += s.idleCycles;
+        r.coreTotals.invocations += s.invocations;
+        r.coreTotals.idlePolls += s.idlePolls;
+    }
+    std::uint64_t total = r.coreTotals.totalCycles();
+    r.aggregateIpc = total
+        ? static_cast<double>(r.coreTotals.instructions) / total *
+          cores.size()
+        : 0.0;
+    r.profile = profile;
+    return r;
+}
+
+void
+NicController::report(stats::Report &r) const
+{
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        const CoreStats &s = cores[i]->stats();
+        std::string p = "core" + std::to_string(i);
+        r.set(p + ".instructions",
+              static_cast<double>(s.instructions));
+        r.set(p + ".ipc", s.ipc());
+        r.set(p + ".executeCycles",
+              static_cast<double>(s.executeCycles));
+        r.set(p + ".imissCycles", static_cast<double>(s.imissCycles));
+        r.set(p + ".loadStallCycles",
+              static_cast<double>(s.loadStallCycles));
+        r.set(p + ".conflictCycles",
+              static_cast<double>(s.conflictCycles));
+        r.set(p + ".pipelineCycles",
+              static_cast<double>(s.pipelineCycles));
+        r.set(p + ".idleCycles", static_cast<double>(s.idleCycles));
+        r.set(p + ".invocations", static_cast<double>(s.invocations));
+        r.set(p + ".icache.missRatio", icaches[i]->missRatio());
+    }
+    for (std::size_t t = 0; t < numFuncTags; ++t) {
+        const auto &b = profile.buckets[t];
+        std::string p = std::string("fw.") +
+            funcTagName(static_cast<FuncTag>(t));
+        for (auto &ch : p)
+            if (ch == ' ')
+                ch = '_';
+        r.set(p + ".instructions", static_cast<double>(b.instructions));
+        r.set(p + ".memAccesses", static_cast<double>(b.memAccesses));
+        r.set(p + ".cycles", static_cast<double>(b.cycles));
+    }
+    spad->report(r, "spad");
+    ram->report(r, "sdram");
+    r.set("imem.fills", static_cast<double>(imem->fillCount()));
+    r.set("imem.bytes", static_cast<double>(imem->bytesTransferred()));
+    r.set("link.txFrames",
+          static_cast<double>(sink.framesReceived()));
+    r.set("link.rxFramesDelivered",
+          static_cast<double>(driver->rxFramesDelivered()));
+    r.set("link.rxDrops", static_cast<double>(macRx->framesDropped() +
+                                              source->framesDropped()));
+    r.set("check.orderErrors",
+          static_cast<double>(sink.orderErrors() +
+                              driver->rxOrderErrors()));
+    r.set("check.integrityErrors",
+          static_cast<double>(sink.integrityErrors() +
+                              driver->rxIntegrityErrors()));
+    for (unsigned l = 0; l < numFwLocks; ++l) {
+        r.set("fw.lock" + std::to_string(l) + ".acquires",
+              static_cast<double>(fwState->lockAcquires[l]));
+        r.set("fw.lock" + std::to_string(l) + ".spins",
+              static_cast<double>(fwState->lockSpins[l]));
+    }
+}
+
+NicResults
+NicController::run(Tick warmup, Tick measure)
+{
+    return runWindow(warmup, nullptr, measure, nullptr);
+}
+
+NicResults
+NicController::runWindow(Tick warmup, std::function<void()> on_start,
+                         Tick measure, std::function<void()> on_end)
+{
+    driver->primeReceivePool();
+    driver->startBackloggedSend();
+    source->start();
+    startCores();
+
+    eq.runUntil(warmup);
+    if (on_start)
+        on_start();
+
+    // Measurement window: reset core/profile stats, snapshot the
+    // delivery counters and the memory-system counters.
+    resetAllStats();
+    std::uint64_t tx0f = sink.framesReceived();
+    std::uint64_t tx0p = sink.payloadBytesReceived();
+    std::uint64_t rx0f = driver->rxFramesDelivered();
+    std::uint64_t rx0p = driver->rxPayloadBytes();
+    std::uint64_t spad0 = spad->totalAccesses();
+    std::uint64_t ram0 = ram->transferredBytes();
+    std::uint64_t imem0 = imem->bytesTransferred();
+
+    eq.runUntil(warmup + measure);
+    if (on_end)
+        on_end();
+
+    NicResults r = collect(measure, tx0f, tx0p, rx0f, rx0p);
+    double secs = static_cast<double>(measure) / tickPerSec;
+    r.spadGbps = (spad->totalAccesses() - spad0) * 32.0 / secs / 1e9;
+    r.sdramGbps = (ram->transferredBytes() - ram0) * 8.0 / secs / 1e9;
+    r.imemGbps = (imem->bytesTransferred() - imem0) * 8.0 / secs / 1e9;
+    r.imemUtilization = r.imemGbps / imem->peakBandwidthGbps();
+
+    source->stop();
+    stopCores();
+    return r;
+}
+
+NicResults
+NicController::runTxOnly(unsigned frames, Tick limit)
+{
+    driver->postSendFrames(frames);
+    startCores();
+    Tick step = 100 * tickPerUs;
+    while (eq.curTick() < limit &&
+           driver->txFramesConsumed() < frames) {
+        eq.runUntil(eq.curTick() + step);
+    }
+    NicResults r = collect(eq.curTick(), 0, 0, 0, 0);
+    stopCores();
+    return r;
+}
+
+NicResults
+NicController::runRxOnly(unsigned frames, Tick limit)
+{
+    driver->primeReceivePool();
+    source->setFrameLimit(frames);
+    source->start();
+    startCores();
+    Tick step = 100 * tickPerUs;
+    while (eq.curTick() < limit &&
+           driver->rxFramesDelivered() < frames) {
+        eq.runUntil(eq.curTick() + step);
+    }
+    NicResults r = collect(eq.curTick(), 0, 0, 0, 0);
+    source->stop();
+    stopCores();
+    return r;
+}
+
+} // namespace tengig

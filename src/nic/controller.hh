@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The 10 Gb/s Ethernet controller: wires the cores, partitioned memory
+ * system, hardware assists, firmware, host driver and network together
+ * exactly as in Fig. 6 of the paper, and runs duplex workloads.
+ */
+
+#ifndef TENGIG_NIC_CONTROLLER_HH
+#define TENGIG_NIC_CONTROLLER_HH
+
+#include <memory>
+#include <vector>
+
+#include "assist/dma_assist.hh"
+#include "assist/mac.hh"
+#include "firmware/frame_level.hh"
+#include "firmware/tasks.hh"
+#include "host/driver.hh"
+#include "mem/host_memory.hh"
+#include "mem/icache.hh"
+#include "mem/scratchpad.hh"
+#include "mem/sdram.hh"
+#include "net/endpoints.hh"
+#include "nic/nic_config.hh"
+#include "proc/core.hh"
+
+namespace tengig {
+
+/** Results of a measured run. */
+struct NicResults
+{
+    Tick measuredTicks = 0;
+    double txUdpGbps = 0.0;      //!< transmit UDP goodput
+    double rxUdpGbps = 0.0;      //!< receive UDP goodput
+    double totalUdpGbps = 0.0;   //!< duplex total (Figs. 7/8 y-axis)
+    double txFps = 0.0;
+    double rxFps = 0.0;
+    std::uint64_t txFrames = 0;
+    std::uint64_t rxFrames = 0;
+    std::uint64_t rxDropped = 0;
+    std::uint64_t errors = 0;    //!< ordering + integrity violations
+
+    double aggregateIpc = 0.0;
+    CoreStats coreTotals;        //!< summed over cores
+    FirmwareProfile profile;     //!< per-function buckets
+
+    double spadGbps = 0.0;       //!< consumed scratchpad bandwidth
+    double sdramGbps = 0.0;      //!< consumed frame-memory bandwidth
+    double imemGbps = 0.0;       //!< consumed instruction-fill bandwidth
+    double imemUtilization = 0.0;
+};
+
+/**
+ * Fully assembled NIC + host + network simulation.
+ */
+class NicController
+{
+  public:
+    explicit NicController(const NicConfig &cfg);
+    ~NicController();
+
+    /**
+     * Run a full-duplex workload.
+     *
+     * @param warmup Simulated time before measurement starts.
+     * @param measure Measured window.
+     * @return Throughput/profile results over the measured window.
+     */
+    NicResults run(Tick warmup, Tick measure);
+
+    /**
+     * Transmit-only finite workload: post @p frames, run until all are
+     * consumed (or @p limit elapses).  Used by correctness tests.
+     */
+    NicResults runTxOnly(unsigned frames, Tick limit);
+
+    /** Receive-only finite workload. */
+    NicResults runRxOnly(unsigned frames, Tick limit);
+
+    /**
+     * Like run(), with hooks fired at the measurement-window edges
+     * (used by the coherence trace capture).
+     */
+    NicResults runWindow(Tick warmup, std::function<void()> on_start,
+                         Tick measure, std::function<void()> on_end);
+
+    /**
+     * Fill a flat stats report covering every component: cores (per
+     * core and totals), firmware profile buckets, memory system,
+     * link, and validation counters.
+     */
+    void report(stats::Report &r) const;
+
+    /// @name Component access for tests and benches
+    /// @{
+    EventQueue &eventQueue() { return eq; }
+    DeviceDriver &deviceDriver() { return *driver; }
+    FrameSink &frameSink() { return sink; }
+    FwState &firmwareState() { return *fwState; }
+    Scratchpad &scratchpad() { return *spad; }
+    GddrSdram &sdram() { return *ram; }
+    const NicConfig &config() const { return cfg; }
+    /// @}
+
+  private:
+    void build();
+    void startCores();
+    void stopCores();
+    NicResults collect(Tick measured, std::uint64_t tx0_frames,
+                       std::uint64_t tx0_payload, std::uint64_t rx0_frames,
+                       std::uint64_t rx0_payload);
+    void resetAllStats();
+
+    NicConfig cfg;
+    EventQueue eq;
+    std::unique_ptr<ClockDomain> cpuClk;
+    std::unique_ptr<ClockDomain> busClk;
+
+    std::unique_ptr<HostMemory> hostMem;
+    std::unique_ptr<Scratchpad> spad;
+    std::unique_ptr<GddrSdram> ram;
+    std::unique_ptr<InstructionMemory> imem;
+    std::vector<std::unique_ptr<ICache>> icaches;
+
+    std::unique_ptr<DeviceDriver> driver;
+    FrameSink sink;
+    std::unique_ptr<FrameSource> source;
+
+    std::unique_ptr<DmaAssist> dmaRead;
+    std::unique_ptr<DmaAssist> dmaWrite;
+    std::unique_ptr<MacTx> macTx;
+    std::unique_ptr<MacRx> macRx;
+
+    std::unique_ptr<FwState> fwState;
+    std::unique_ptr<FwTasks> tasks;
+    std::unique_ptr<Dispatcher> dispatcher;
+
+    FirmwareProfile profile;
+    std::vector<std::unique_ptr<Core>> cores;
+
+    Addr txBufSdram = 0;
+    Addr rxBufSdram = 0;
+};
+
+} // namespace tengig
+
+#endif // TENGIG_NIC_CONTROLLER_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Top-level NIC configuration (the knobs of Figs. 7/8 and Tables 3-6).
+ */
+
+#ifndef TENGIG_NIC_NIC_CONFIG_HH
+#define TENGIG_NIC_NIC_CONFIG_HH
+
+#include "firmware/fw_state.hh"
+#include "net/frame.hh"
+
+namespace tengig {
+
+struct NicConfig
+{
+    /// @name Computation and memory architecture (Fig. 6)
+    /// @{
+    unsigned cores = 6;
+    double cpuMhz = 200.0;          //!< cores + scratchpad + crossbar
+    unsigned scratchpadBanks = 4;
+    std::size_t scratchpadBytes = 256 * 1024;
+    std::size_t icacheBytes = 8 * 1024;
+    unsigned icacheAssoc = 2;
+    unsigned icacheLineBytes = 32;
+    double memBusMhz = 500.0;       //!< internal bus + GDDR SDRAM
+    std::size_t sdramBytes = 8 * 1024 * 1024;
+    unsigned dmaFifoDepth = 64;
+    unsigned macTxFifoDepth = 64;
+    /// @}
+
+    /// @name Firmware organization
+    /// @{
+    FwConfig firmware;
+    bool taskLevelFirmware = false; //!< event-register baseline
+    /// @}
+
+    /// @name Workload
+    /// @{
+    unsigned txPayloadBytes = udpMaxPayloadBytes;
+    unsigned rxPayloadBytes = udpMaxPayloadBytes;
+    double rxOfferedRate = 1.0;     //!< fraction of line rate
+    unsigned sendRingFrames = 1024;
+    unsigned recvPoolBuffers = 1024;
+    /// @}
+};
+
+} // namespace tengig
+
+#endif // TENGIG_NIC_NIC_CONFIG_HH

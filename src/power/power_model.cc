@@ -1,0 +1,68 @@
+#include "power_model.hh"
+
+#include <algorithm>
+
+namespace tengig {
+namespace power {
+
+PowerBreakdown
+estimate(const NicConfig &cfg, const NicResults &r, const EnergyParams &p)
+{
+    PowerBreakdown b;
+    double secs = static_cast<double>(r.measuredTicks) / tickPerSec;
+    if (secs <= 0)
+        return b;
+
+    // Cores: weight cycle classes by their switching activity.
+    const CoreStats &s = r.coreTotals;
+    double total_cycles = static_cast<double>(s.totalCycles());
+    if (total_cycles > 0) {
+        double active = static_cast<double>(s.executeCycles);
+        double stalled = static_cast<double>(
+            s.imissCycles + s.loadStallCycles + s.conflictCycles +
+            s.pipelineCycles);
+        double idle = static_cast<double>(s.idleCycles);
+        double mw_per_mhz =
+            (active * p.coreActiveMwPerMhz +
+             stalled * p.coreStallMwPerMhz +
+             idle * p.coreIdleMwPerMhz) / total_cycles;
+        // f * V^2 scaling: higher clocks need higher supply voltage.
+        double v = std::max(1.0, p.voltageVmin +
+                            (1.0 - p.voltageVmin) * cfg.cpuMhz /
+                                p.voltageNomMhz);
+        b.coresW = (mw_per_mhz * cfg.cpuMhz * v * v * cfg.cores +
+                    p.coreLeakageMw * cfg.cores) / 1e3;
+    }
+
+    // Scratchpad + crossbar: per-access energy plus leakage.
+    double spad_accesses_per_s = r.spadGbps * 1e9 / 32.0;
+    b.scratchpadW = spad_accesses_per_s *
+        (p.spadNjPerAccess + p.crossbarNjPerTransfer) * 1e-9 +
+        p.spadLeakageMwPerKb * (cfg.scratchpadBytes / 1024.0) / 1e3;
+
+    // Instruction delivery: cache lookups (~1 per instruction) plus
+    // fill traffic.
+    double instr_per_s = r.aggregateIpc * cfg.cpuMhz * 1e6;
+    double fills_per_s = r.imemGbps * 1e9 / (16.0 * 8.0);
+    b.instructionW = instr_per_s * p.icacheNjPerAccess * 1e-9 +
+        fills_per_s * p.imemNjPerFill * 1e-9;
+
+    // Frame memory: bandwidth-proportional I/O plus device static.
+    b.sdramW = (r.sdramGbps * p.sdramMwPerGbps + p.sdramStaticMw) / 1e3;
+
+    // MAC/serdes: fixed while the link is up.
+    b.macW = p.macFixedMw / 1e3;
+    return b;
+}
+
+double
+energyPerFrameNj(const PowerBreakdown &b, const NicResults &r)
+{
+    double fps = r.txFps + r.rxFps;
+    if (fps <= 0)
+        return 0.0;
+    return b.totalW() / fps * 1e9;
+}
+
+} // namespace power
+} // namespace tengig

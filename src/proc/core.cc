@@ -1,0 +1,239 @@
+#include "core.hh"
+
+namespace tengig {
+
+const char *
+funcTagName(FuncTag t)
+{
+    switch (t) {
+      case FuncTag::FetchSendBd: return "Fetch Send BD";
+      case FuncTag::SendFrame: return "Send Frame";
+      case FuncTag::SendDispatch: return "Send Dispatch and Ordering";
+      case FuncTag::SendLock: return "Send Locking";
+      case FuncTag::FetchRecvBd: return "Fetch Receive BD";
+      case FuncTag::RecvFrame: return "Receive Frame";
+      case FuncTag::RecvDispatch: return "Receive Dispatch and Ordering";
+      case FuncTag::RecvLock: return "Receive Locking";
+      case FuncTag::Idle: return "Idle";
+      default: return "?";
+    }
+}
+
+CodeLayout
+CodeLayout::uniform(Addr region_bytes)
+{
+    CodeLayout l;
+    for (std::size_t i = 0; i < numFuncTags; ++i) {
+        l.base[i] = static_cast<Addr>(i) * region_bytes;
+        l.size[i] = region_bytes;
+    }
+    return l;
+}
+
+Core::Core(EventQueue &eq, const ClockDomain &domain, unsigned id,
+           Dispatcher &dispatcher_, Scratchpad &spad_, ICache &icache_,
+           const CodeLayout &layout_, FirmwareProfile &profile_)
+    : Clocked(eq, domain), coreId(id), dispatcher(dispatcher_),
+      spad(spad_), icache(icache_), layout(layout_), profile(profile_)
+{}
+
+void
+Core::start()
+{
+    running = true;
+    scheduleCycles(0, [this] { nextInvocation(); }, EventPriority::Cpu);
+}
+
+void
+Core::resetStats()
+{
+    _stats = CoreStats{};
+}
+
+void
+Core::account(FuncTag tag, std::uint64_t instrs, std::uint64_t mem,
+              std::uint64_t cycles)
+{
+    auto &b = profile[tag];
+    b.instructions += instrs;
+    b.memAccesses += mem;
+    b.cycles += cycles;
+}
+
+void
+Core::nextInvocation()
+{
+    if (!running)
+        return;
+    current = dispatcher.next(coreId);
+    opIdx = 0;
+    if (current.idlePoll)
+        ++_stats.idlePolls;
+    else
+        ++_stats.invocations;
+    if (current.ops.empty()) {
+        // Degenerate dispatcher result: charge one idle cycle so
+        // simulated time always advances.
+        _stats.idleCycles += 1;
+        scheduleCycles(1, [this] { nextInvocation(); },
+                       EventPriority::Cpu);
+        return;
+    }
+    beginOp();
+}
+
+Cycles
+Core::fetchStall(FuncTag tag, unsigned instrs)
+{
+    std::size_t ti = static_cast<std::size_t>(tag);
+    Addr region = layout.size[ti];
+    if (region == 0)
+        return 0;
+    Tick stall = 0;
+    Addr off = pcOffset[ti];
+    unsigned line = icache.lineSize();
+    Addr bytes = static_cast<Addr>(instrs) * 4;
+    // Touch every I-cache line the PC range covers, wrapping within the
+    // bucket's code region (wrap models loop back-edges re-executing
+    // resident lines).
+    Addr first_line = off / line;
+    Addr last_line = (off + (bytes ? bytes - 1 : 0)) / line;
+    for (Addr l = first_line; l <= last_line; ++l) {
+        Addr wrapped = (l * line) % region;
+        stall += icache.lookup(layout.base[ti] + wrapped,
+                               curTick() + stall);
+    }
+    pcOffset[ti] = (off + bytes) % region;
+    return clockDomain().ticksToCycles(stall);
+}
+
+void
+Core::chargeImiss(FuncTag tag, Cycles imiss)
+{
+    if (!imiss)
+        return;
+    if (tag == FuncTag::Idle)
+        _stats.idleCycles += imiss;
+    else
+        _stats.imissCycles += imiss;
+    account(tag, 0, 0, imiss);
+}
+
+void
+Core::beginOp()
+{
+    if (opIdx >= current.ops.size()) {
+        nextInvocation();
+        return;
+    }
+    MicroOp &op = current.ops[opIdx];
+    FuncTag tag = op.tag;
+    bool idle_tag = (tag == FuncTag::Idle);
+
+    switch (op.kind) {
+      case OpKind::Action:
+        if (op.action)
+            op.action();
+        ++opIdx;
+        beginOp();
+        return;
+
+      case OpKind::Alu: {
+        Cycles imiss = fetchStall(tag, op.count);
+        chargeImiss(tag, imiss);
+        Cycles busy = op.count + op.hazard;
+        _stats.instructions += op.count;
+        if (idle_tag) {
+            _stats.idleCycles += busy;
+        } else {
+            _stats.executeCycles += op.count;
+            _stats.pipelineCycles += op.hazard;
+        }
+        account(tag, op.count, 0, busy);
+        ++opIdx;
+        scheduleCycles(busy + imiss, [this] { beginOp(); },
+                       EventPriority::Cpu);
+        return;
+      }
+
+      case OpKind::MemRead:
+      case OpKind::MemRmw: {
+        Cycles imiss = fetchStall(tag, 1);
+        chargeImiss(tag, imiss);
+        auto issue = [this, tag, idle_tag,
+                      kind = op.kind, addr = op.addr] {
+            SpadOp sop = (kind == OpKind::MemRead) ? SpadOp::Read
+                                                   : SpadOp::RmwTiming;
+            spad.access(coreId, addr, sop, 0,
+                        [this, tag,
+                         idle_tag](const Scratchpad::Response &r) {
+                            Cycles total = 2 + r.conflictCycles;
+                            _stats.instructions += 1;
+                            if (idle_tag) {
+                                _stats.idleCycles += total;
+                            } else {
+                                _stats.executeCycles += 1;
+                                _stats.loadStallCycles += 1;
+                                _stats.conflictCycles += r.conflictCycles;
+                            }
+                            account(tag, 1, 1, total);
+                            ++opIdx;
+                            beginOp();
+                        });
+        };
+        if (imiss)
+            scheduleCycles(imiss, issue, EventPriority::Cpu);
+        else
+            issue();
+        return;
+      }
+
+      case OpKind::MemWrite: {
+        Cycles imiss = fetchStall(tag, 1);
+        chargeImiss(tag, imiss);
+        pendingTag = tag;
+        pendingAddr = op.addr;
+        if (imiss)
+            scheduleCycles(imiss, [this] { tryIssueStore(); },
+                           EventPriority::Cpu);
+        else
+            tryIssueStore();
+        return;
+      }
+    }
+    panic("unreachable op kind");
+}
+
+void
+Core::tryIssueStore()
+{
+    FuncTag tag = pendingTag;
+    bool idle_tag = (tag == FuncTag::Idle);
+    if (storeBufferBusy) {
+        // Structural stall: the single-entry store buffer still waits
+        // on its bank grant; attribute the wait to bank conflicts.
+        if (idle_tag)
+            _stats.idleCycles += 1;
+        else
+            _stats.conflictCycles += 1;
+        account(tag, 0, 0, 1);
+        scheduleCycles(1, [this] { tryIssueStore(); },
+                       EventPriority::Cpu);
+        return;
+    }
+    storeBufferBusy = true;
+    spad.access(coreId, pendingAddr, SpadOp::WriteTiming, 0,
+                [this](const Scratchpad::Response &) {
+                    storeBufferBusy = false;
+                });
+    _stats.instructions += 1;
+    if (idle_tag)
+        _stats.idleCycles += 1;
+    else
+        _stats.executeCycles += 1;
+    account(tag, 1, 1, 1);
+    ++opIdx;
+    scheduleCycles(1, [this] { beginOp(); }, EventPriority::Cpu);
+}
+
+} // namespace tengig

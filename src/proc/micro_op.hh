@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Micro-operation stream replayed by a core's timing model.
+ *
+ * Firmware handlers execute *functionally* once at dispatch time (inside
+ * the discrete-event scheduler, hence atomically) and record the stream
+ * of instructions and memory accesses the real MIPS-subset firmware
+ * would have executed.  The owning core then replays that stream through
+ * the 5-stage pipeline + scratchpad-crossbar timing model, so pipeline
+ * bubbles, bank conflicts, I-cache misses and lock contention cost what
+ * the paper's hardware would pay.  Hardware programming (DMA and MAC
+ * command writes, lock releases) are Action entries that fire when the
+ * replay reaches them, which keeps producer->consumer latencies honest.
+ */
+
+#ifndef TENGIG_PROC_MICRO_OP_HH
+#define TENGIG_PROC_MICRO_OP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tengig {
+
+/**
+ * Firmware accounting buckets, matching the function rows of the
+ * paper's Tables 5 and 6.
+ */
+enum class FuncTag : std::uint8_t
+{
+    FetchSendBd,
+    SendFrame,
+    SendDispatch,   //!< send-side dispatch and ordering
+    SendLock,
+    FetchRecvBd,
+    RecvFrame,
+    RecvDispatch,   //!< receive-side dispatch and ordering
+    RecvLock,
+    Idle,
+    NumTags
+};
+
+constexpr std::size_t numFuncTags =
+    static_cast<std::size_t>(FuncTag::NumTags);
+
+/** Human-readable bucket name. */
+const char *funcTagName(FuncTag t);
+
+/** Kinds of replayed operations. */
+enum class OpKind : std::uint8_t
+{
+    Alu,      //!< count instructions + hazard stall cycles
+    MemRead,  //!< one load through the crossbar
+    MemWrite, //!< one store through the crossbar (store-buffered)
+    MemRmw,   //!< one atomic RMW / test-and-set through the crossbar
+    Action,   //!< zero-cost closure (hardware trigger, lock release)
+};
+
+/** One replayed operation. */
+struct MicroOp
+{
+    OpKind kind = OpKind::Alu;
+    FuncTag tag = FuncTag::Idle;
+    std::uint16_t count = 1;   //!< Alu: instruction count
+    std::uint16_t hazard = 0;  //!< Alu: extra pipeline stall cycles
+    Addr addr = 0;             //!< memory ops: scratchpad address
+    std::function<void()> action; //!< Action ops
+};
+
+/**
+ * A recorded handler invocation: the op stream plus bookkeeping the
+ * core uses for accounting.
+ */
+struct OpList
+{
+    std::vector<MicroOp> ops;
+    bool idlePoll = false; //!< true when this is an empty-handed poll
+
+    bool empty() const { return ops.empty(); }
+    std::size_t size() const { return ops.size(); }
+};
+
+/**
+ * Builder used by firmware handlers to record their op stream.
+ */
+class OpRecorder
+{
+  public:
+    explicit OpRecorder(FuncTag initial = FuncTag::Idle) : cur(initial) {}
+
+    /** Switch the accounting bucket for subsequent ops. */
+    void tag(FuncTag t) { cur = t; }
+    FuncTag tag() const { return cur; }
+
+    /** @p n straight-line instructions, plus optional stall cycles. */
+    void
+    alu(unsigned n, unsigned hazard_cycles = 0)
+    {
+        if (n == 0 && hazard_cycles == 0)
+            return;
+        // Merge with a preceding Alu op in the same bucket to keep the
+        // replayed stream compact.
+        if (!list.ops.empty()) {
+            MicroOp &back = list.ops.back();
+            if (back.kind == OpKind::Alu && back.tag == cur &&
+                back.count + n < 0xffff && back.hazard + hazard_cycles <
+                0xffff) {
+                back.count = static_cast<std::uint16_t>(back.count + n);
+                back.hazard =
+                    static_cast<std::uint16_t>(back.hazard + hazard_cycles);
+                return;
+            }
+        }
+        MicroOp op;
+        op.kind = OpKind::Alu;
+        op.tag = cur;
+        op.count = static_cast<std::uint16_t>(n);
+        op.hazard = static_cast<std::uint16_t>(hazard_cycles);
+        list.ops.push_back(std::move(op));
+    }
+
+    void
+    load(Addr addr)
+    {
+        MicroOp op;
+        op.kind = OpKind::MemRead;
+        op.tag = cur;
+        op.addr = addr;
+        list.ops.push_back(std::move(op));
+    }
+
+    void
+    store(Addr addr)
+    {
+        MicroOp op;
+        op.kind = OpKind::MemWrite;
+        op.tag = cur;
+        op.addr = addr;
+        list.ops.push_back(std::move(op));
+    }
+
+    void
+    rmw(Addr addr)
+    {
+        MicroOp op;
+        op.kind = OpKind::MemRmw;
+        op.tag = cur;
+        op.addr = addr;
+        list.ops.push_back(std::move(op));
+    }
+
+    /** Closure executed when the replay reaches this point. */
+    void
+    action(std::function<void()> fn)
+    {
+        MicroOp op;
+        op.kind = OpKind::Action;
+        op.tag = cur;
+        op.action = std::move(fn);
+        list.ops.push_back(std::move(op));
+    }
+
+    OpList take() { return std::move(list); }
+    bool empty() const { return list.ops.empty(); }
+
+  private:
+    OpList list;
+    FuncTag cur;
+};
+
+/**
+ * Per-bucket execution profile accumulated by the cores, feeding
+ * Tables 1, 5 and 6.
+ */
+struct FirmwareProfile
+{
+    struct Bucket
+    {
+        std::uint64_t instructions = 0;
+        std::uint64_t memAccesses = 0;
+        std::uint64_t cycles = 0;
+    };
+
+    Bucket buckets[numFuncTags];
+
+    Bucket &
+    operator[](FuncTag t)
+    {
+        return buckets[static_cast<std::size_t>(t)];
+    }
+
+    const Bucket &
+    operator[](FuncTag t) const
+    {
+        return buckets[static_cast<std::size_t>(t)];
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets)
+            b = Bucket{};
+    }
+};
+
+} // namespace tengig
+
+#endif // TENGIG_PROC_MICRO_OP_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Clock-domain helpers.
+ *
+ * The NIC in the paper (Fig. 6) has four clock domains: the CPU cores +
+ * scratchpads + crossbar, the 500 MHz memory bus + GDDR SDRAM, the MAC /
+ * Ethernet timing, and the (untimed) PCI side.  A ClockDomain converts
+ * between cycles and global ticks and computes edge alignment so that
+ * cross-domain hand-offs land on real clock edges.
+ */
+
+#ifndef TENGIG_SIM_CLOCK_HH
+#define TENGIG_SIM_CLOCK_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tengig {
+
+/**
+ * A named clock with a fixed period, phase-aligned to tick 0.
+ */
+class ClockDomain
+{
+  public:
+    /**
+     * @param name Human-readable domain name ("cpu", "membus", ...).
+     * @param period Clock period in ticks; must be > 0.
+     */
+    ClockDomain(std::string name, Tick period)
+        : _name(std::move(name)), _period(period)
+    {
+        fatal_if(period == 0, "clock domain '", _name, "' with zero period");
+    }
+
+    const std::string &name() const { return _name; }
+    Tick period() const { return _period; }
+    double frequencyMhz() const { return mhzFromPeriod(_period); }
+
+    /** Tick of the n-th rising edge. */
+    Tick edge(Cycles n) const { return n * _period; }
+
+    /** Cycle index of the most recent edge at or before @p t. */
+    Cycles cycleAt(Tick t) const { return t / _period; }
+
+    /**
+     * First edge at or after @p t (a request arriving mid-cycle is
+     * sampled on the next edge).
+     */
+    Tick
+    nextEdgeAtOrAfter(Tick t) const
+    {
+        return ((t + _period - 1) / _period) * _period;
+    }
+
+    /** First edge strictly after @p t. */
+    Tick nextEdgeAfter(Tick t) const { return (t / _period + 1) * _period; }
+
+    /** Convert a cycle count to a duration in ticks. */
+    Tick cyclesToTicks(Cycles c) const { return c * _period; }
+
+    /** Duration @p d rounded up to whole cycles. */
+    Cycles
+    ticksToCycles(Tick d) const
+    {
+        return (d + _period - 1) / _period;
+    }
+
+  private:
+    std::string _name;
+    Tick _period;
+};
+
+/**
+ * Base class for components driven by a clock domain, with convenience
+ * scheduling helpers expressed in cycles.
+ */
+class Clocked
+{
+  public:
+    Clocked(EventQueue &eq, const ClockDomain &domain)
+        : _eq(eq), _domain(domain)
+    {}
+
+    EventQueue &eventQueue() const { return _eq; }
+    const ClockDomain &clockDomain() const { return _domain; }
+    Tick curTick() const { return _eq.curTick(); }
+
+    /** Current cycle in this component's domain. */
+    Cycles curCycle() const { return _domain.cycleAt(_eq.curTick()); }
+
+    /**
+     * Schedule @p fn @p cycles edges after the next edge at-or-after now.
+     * scheduleCycles(0, fn) fires at the next edge (or immediately if now
+     * is exactly on an edge).
+     */
+    EventId
+    scheduleCycles(Cycles cycles, std::function<void()> fn,
+                   EventPriority prio = EventPriority::Default)
+    {
+        Tick base = _domain.nextEdgeAtOrAfter(_eq.curTick());
+        return _eq.schedule(base + _domain.cyclesToTicks(cycles),
+                            std::move(fn), prio);
+    }
+
+  private:
+    EventQueue &_eq;
+    const ClockDomain &_domain;
+};
+
+} // namespace tengig
+
+#endif // TENGIG_SIM_CLOCK_HH

@@ -1,0 +1,77 @@
+#include "event_queue.hh"
+
+namespace tengig {
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> fn, EventPriority prio)
+{
+    panic_if(when < _curTick,
+             "scheduling event in the past: when=", when,
+             " cur=", _curTick);
+    panic_if(!fn, "scheduling null event callback");
+    EventId id = nextId++;
+    pq.push(Entry{when, static_cast<int>(prio), id, std::move(fn)});
+    live.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // Lazy cancellation: drop the id from the live set; fireNext() skips
+    // queue entries whose id is no longer live.
+    return live.erase(id) != 0;
+}
+
+bool
+EventQueue::fireNext()
+{
+    while (!pq.empty()) {
+        Entry top = pq.top();
+        pq.pop();
+        if (live.erase(top.id) == 0)
+            continue; // cancelled
+        panic_if(top.when < _curTick, "event queue time went backwards");
+        _curTick = top.when;
+        ++executed;
+        top.fn();
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::step()
+{
+    return fireNext();
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!pq.empty()) {
+        if (pq.top().when > limit) {
+            // Skip dead entries that happen to sit past the limit so that
+            // empty() reflects reality even when we stop early.
+            if (live.count(pq.top().id) == 0) {
+                pq.pop();
+                continue;
+            }
+            break;
+        }
+        if (!fireNext())
+            break;
+    }
+    return _curTick;
+}
+
+Tick
+EventQueue::runUntil(Tick until)
+{
+    run(until);
+    if (_curTick < until)
+        _curTick = until;
+    return _curTick;
+}
+
+} // namespace tengig

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The EventQueue orders callbacks by (tick, priority, insertion sequence).
+ * All modeled hardware (clocked components, link timing, DMA completions)
+ * schedules through a single queue so that multi-clock-domain interactions
+ * are globally ordered, mirroring the Liberty/Spinach execution model the
+ * paper's simulator was built on.
+ */
+
+#ifndef TENGIG_SIM_EVENT_QUEUE_HH
+#define TENGIG_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace tengig {
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Invalid/empty event handle. */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * Priorities break ties between events scheduled at the same tick.
+ * Lower values run first.
+ */
+enum class EventPriority : int
+{
+    HardwareProgress = -2, //!< assist progress-pointer updates
+    Default = 0,
+    Cpu = 1,               //!< core activity runs after hardware at a tick
+    Stats = 100,           //!< sampling runs after everything else
+};
+
+/**
+ * A time-ordered queue of callbacks with cancellation support.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule a callback.
+     *
+     * @param when Absolute tick; must be >= curTick().
+     * @param fn Callback invoked when the event fires.
+     * @param prio Tie-break priority at equal tick.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(Tick when, std::function<void()> fn,
+                     EventPriority prio = EventPriority::Default);
+
+    /** Schedule relative to now. */
+    EventId
+    scheduleIn(Tick delta, std::function<void()> fn,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(_curTick + delta, std::move(fn), prio);
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @retval true The event existed and will not fire.
+     * @retval false The event had already fired or been cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** @return true if no live events remain. */
+    bool empty() const { return live.empty(); }
+
+    /** Number of events waiting to fire. */
+    std::size_t pendingEvents() const { return live.size(); }
+
+    /**
+     * Run until the queue drains or @p limit is reached.
+     * @return Tick of the last event processed.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Fire events up to and including tick @p until. */
+    Tick runUntil(Tick until);
+
+    /** Process a single event. @retval false if the queue was empty. */
+    bool step();
+
+    /** Total number of events ever executed (for perf benchmarks). */
+    std::uint64_t executedEvents() const { return executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.id > b.id;
+        }
+    };
+
+    bool fireNext();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> pq;
+    std::unordered_set<EventId> live;
+    Tick _curTick = 0;
+    EventId nextId = 1;
+    std::uint64_t executed = 0;
+};
+
+} // namespace tengig
+
+#endif // TENGIG_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,21 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+namespace tengig {
+namespace stats {
+
+void
+Report::print(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[name, value] : values) {
+        if (!prefix.empty() && name.rfind(prefix, 0) != 0)
+            continue;
+        os << std::left << std::setw(48) << name << " "
+           << std::right << std::setw(16) << std::setprecision(6)
+           << value << "\n";
+    }
+}
+
+} // namespace stats
+} // namespace tengig

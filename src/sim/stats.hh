@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * Components own named counters / histograms registered into a StatGroup
+ * tree so experiment runners can dump a coherent report.  The design is a
+ * deliberately small subset of gem5's stats package: scalar counters,
+ * averages, and fixed-bucket histograms.
+ */
+
+#ifndef TENGIG_SIM_STATS_HH
+#define TENGIG_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tengig {
+namespace stats {
+
+/** Monotonic scalar event count. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++val; return *this; }
+    Counter &operator+=(std::uint64_t n) { val += n; return *this; }
+    std::uint64_t value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** Running mean/min/max of a sampled quantity. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+        if (v < mn || n == 1)
+            mn = v;
+        if (v > mx || n == 1)
+            mx = v;
+    }
+
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? mn : 0.0; }
+    double max() const { return n ? mx : 0.0; }
+    std::uint64_t count() const { return n; }
+    void reset() { sum = 0; n = 0; mn = 0; mx = 0; }
+
+  private:
+    double sum = 0, mn = 0, mx = 0;
+    std::uint64_t n = 0;
+};
+
+/** Fixed-width-bucket histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(1, 16) {}
+
+    Histogram(std::uint64_t bucket_width, std::size_t buckets)
+        : width(bucket_width ? bucket_width : 1), counts(buckets + 1, 0)
+    {}
+
+    void
+    sample(std::uint64_t v)
+    {
+        std::size_t b = v / width;
+        if (b >= counts.size() - 1)
+            b = counts.size() - 1;
+        ++counts[b];
+        ++n;
+        total += v;
+    }
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? static_cast<double>(total) / n : 0.0; }
+    std::uint64_t bucket(std::size_t i) const { return counts.at(i); }
+    std::size_t buckets() const { return counts.size(); }
+    std::uint64_t bucketWidth() const { return width; }
+
+    /** Fraction of samples in bucket @p i. */
+    double
+    fraction(std::size_t i) const
+    {
+        return n ? static_cast<double>(counts.at(i)) / n : 0.0;
+    }
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t n = 0;
+    std::uint64_t total = 0;
+};
+
+/**
+ * Named scalar registry: a flat map of dotted stat names to values,
+ * filled by components at dump time.
+ */
+class Report
+{
+  public:
+    void
+    set(const std::string &name, double value)
+    {
+        values[name] = value;
+    }
+
+    double
+    get(const std::string &name) const
+    {
+        auto it = values.find(name);
+        return it == values.end() ? 0.0 : it->second;
+    }
+
+    bool has(const std::string &name) const { return values.count(name); }
+
+    const std::map<std::string, double> &all() const { return values; }
+
+    void print(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, double> values;
+};
+
+} // namespace stats
+} // namespace tengig
+
+#endif // TENGIG_SIM_STATS_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for clock domains and clocked scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+
+using namespace tengig;
+
+TEST(ClockDomain, PeriodFromMhz)
+{
+    EXPECT_EQ(periodFromMhz(200.0), 5000u);
+    EXPECT_EQ(periodFromMhz(500.0), 2000u);
+    EXPECT_EQ(periodFromMhz(100.0), 10000u);
+    // 166.67 MHz rounds to a 6000 ps period.
+    EXPECT_EQ(periodFromMhz(1e6 / 6000.0), 6000u);
+}
+
+TEST(ClockDomain, EdgeMath)
+{
+    ClockDomain cpu("cpu", 5000);
+    EXPECT_EQ(cpu.edge(0), 0u);
+    EXPECT_EQ(cpu.edge(3), 15000u);
+    EXPECT_EQ(cpu.cycleAt(0), 0u);
+    EXPECT_EQ(cpu.cycleAt(4999), 0u);
+    EXPECT_EQ(cpu.cycleAt(5000), 1u);
+    EXPECT_EQ(cpu.nextEdgeAtOrAfter(0), 0u);
+    EXPECT_EQ(cpu.nextEdgeAtOrAfter(1), 5000u);
+    EXPECT_EQ(cpu.nextEdgeAtOrAfter(5000), 5000u);
+    EXPECT_EQ(cpu.nextEdgeAfter(5000), 10000u);
+    EXPECT_EQ(cpu.nextEdgeAfter(4999), 5000u);
+}
+
+TEST(ClockDomain, CycleTickConversion)
+{
+    ClockDomain mem("membus", 2000);
+    EXPECT_EQ(mem.cyclesToTicks(10), 20000u);
+    EXPECT_EQ(mem.ticksToCycles(20000), 10u);
+    EXPECT_EQ(mem.ticksToCycles(20001), 11u); // rounds up
+    EXPECT_DOUBLE_EQ(mem.frequencyMhz(), 500.0);
+}
+
+TEST(ClockDomain, ZeroPeriodIsFatal)
+{
+    EXPECT_THROW(ClockDomain("bad", 0), FatalError);
+}
+
+namespace {
+
+class Probe : public Clocked
+{
+  public:
+    using Clocked::Clocked;
+    using Clocked::scheduleCycles;
+};
+
+} // namespace
+
+TEST(Clocked, ScheduleCyclesAlignsToEdges)
+{
+    EventQueue eq;
+    ClockDomain cpu("cpu", 5000);
+    Probe p(eq, cpu);
+
+    // Offset the queue to mid-cycle, then make sure scheduling lands on
+    // real edges.
+    Tick fired = 0;
+    eq.schedule(5200, [&] {
+        p.scheduleCycles(2, [&] { fired = eq.curTick(); });
+    });
+    eq.run();
+    // From 5200, the next edge is 10000; +2 cycles = 20000.
+    EXPECT_EQ(fired, 20000u);
+}
+
+TEST(Clocked, ScheduleZeroCyclesOnEdgeFiresNow)
+{
+    EventQueue eq;
+    ClockDomain cpu("cpu", 5000);
+    Probe p(eq, cpu);
+    Tick fired = maxTick;
+    eq.schedule(10000, [&] {
+        p.scheduleCycles(0, [&] { fired = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 10000u);
+}
+
+TEST(Clocked, DomainsWithDifferentPeriodsInterleave)
+{
+    EventQueue eq;
+    ClockDomain cpu("cpu", 5000);    // 200 MHz
+    ClockDomain bus("bus", 2000);    // 500 MHz
+    Probe pc(eq, cpu), pb(eq, bus);
+
+    std::vector<std::pair<char, Tick>> order;
+    for (Cycles c = 1; c <= 2; ++c) {
+        pc.scheduleCycles(c, [&eq, &order] {
+            order.emplace_back('c', eq.curTick());
+        });
+        pb.scheduleCycles(c, [&eq, &order] {
+            order.emplace_back('b', eq.curTick());
+        });
+    }
+    eq.run();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], std::make_pair('b', Tick{2000}));
+    EXPECT_EQ(order[1], std::make_pair('b', Tick{4000}));
+    EXPECT_EQ(order[2], std::make_pair('c', Tick{5000}));
+    EXPECT_EQ(order[3], std::make_pair('c', Tick{10000}));
+}

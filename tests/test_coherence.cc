@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit and property tests for the MESI/MSI trace-driven coherence
+ * simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+#include "sim/logging.hh"
+#include "src/coherence/coherent_cache.hh"
+
+using namespace tengig;
+using namespace tengig::coherence;
+
+namespace {
+
+CoherentCacheSystem
+makeSystem(Protocol p = Protocol::MESI, std::size_t capacity = 1024)
+{
+    return CoherentCacheSystem(4, capacity, 16, p);
+}
+
+} // namespace
+
+TEST(Mesi, ReadMissFillsExclusiveWhenAlone)
+{
+    auto sys = makeSystem();
+    sys.access(0, 0x100, false);
+    EXPECT_EQ(sys.state(0, 0x100), LineState::Exclusive);
+    EXPECT_EQ(sys.stats().misses, 1u);
+}
+
+TEST(Msi, ReadMissFillsShared)
+{
+    auto sys = makeSystem(Protocol::MSI);
+    sys.access(0, 0x100, false);
+    EXPECT_EQ(sys.state(0, 0x100), LineState::Shared);
+}
+
+TEST(Mesi, SecondReaderDemotesToShared)
+{
+    auto sys = makeSystem();
+    sys.access(0, 0x100, false);
+    sys.access(1, 0x100, false);
+    EXPECT_EQ(sys.state(0, 0x100), LineState::Shared);
+    EXPECT_EQ(sys.state(1, 0x100), LineState::Shared);
+}
+
+TEST(Mesi, SilentExclusiveToModifiedUpgrade)
+{
+    auto sys = makeSystem();
+    sys.access(0, 0x100, false); // E
+    std::uint64_t inv_before = sys.stats().linesInvalidated;
+    sys.access(0, 0x100, true);  // E -> M, no bus traffic
+    EXPECT_EQ(sys.state(0, 0x100), LineState::Modified);
+    EXPECT_EQ(sys.stats().linesInvalidated, inv_before);
+}
+
+TEST(Mesi, SharedWriteInvalidatesPeers)
+{
+    auto sys = makeSystem();
+    sys.access(0, 0x100, false);
+    sys.access(1, 0x100, false);
+    sys.access(0, 0x100, true);
+    EXPECT_EQ(sys.state(0, 0x100), LineState::Modified);
+    EXPECT_EQ(sys.state(1, 0x100), LineState::Invalid);
+    EXPECT_EQ(sys.stats().invalidationsSent, 1u);
+    EXPECT_EQ(sys.stats().linesInvalidated, 1u);
+}
+
+TEST(Mesi, WriteMissInvalidatesAllCopies)
+{
+    auto sys = makeSystem();
+    sys.access(0, 0x100, false);
+    sys.access(1, 0x100, false);
+    sys.access(2, 0x100, true);
+    EXPECT_EQ(sys.state(2, 0x100), LineState::Modified);
+    EXPECT_EQ(sys.state(0, 0x100), LineState::Invalid);
+    EXPECT_EQ(sys.state(1, 0x100), LineState::Invalid);
+    EXPECT_EQ(sys.stats().linesInvalidated, 2u);
+}
+
+TEST(Mesi, DirtyLineSuppliedWithWriteback)
+{
+    auto sys = makeSystem();
+    sys.access(0, 0x100, true);  // M in cache 0
+    sys.access(1, 0x100, false); // cache 1 read: writeback + share
+    EXPECT_EQ(sys.stats().writebacks, 1u);
+    EXPECT_EQ(sys.state(0, 0x100), LineState::Shared);
+    EXPECT_EQ(sys.state(1, 0x100), LineState::Shared);
+}
+
+TEST(Mesi, LruEvictionWritesBackDirtyLines)
+{
+    // Capacity 2 lines: third distinct line evicts the LRU.
+    CoherentCacheSystem sys(1, 32, 16, Protocol::MESI);
+    sys.access(0, 0x000, true);
+    sys.access(0, 0x010, false);
+    sys.access(0, 0x020, false); // evicts dirty 0x000
+    EXPECT_EQ(sys.stats().writebacks, 1u);
+    EXPECT_EQ(sys.state(0, 0x000), LineState::Invalid);
+    EXPECT_EQ(sys.stats().misses, 3u);
+}
+
+TEST(Mesi, SameLineSameCacheHits)
+{
+    auto sys = makeSystem();
+    sys.access(0, 0x100, false);
+    sys.access(0, 0x104, false); // same 16B line
+    sys.access(0, 0x10f, true);
+    EXPECT_EQ(sys.stats().hits, 2u);
+}
+
+TEST(CoherenceInvariant, RandomTraceNeverViolatesMesi)
+{
+    // Property: under a random access stream, at most one cache holds a
+    // line in M/E, and M/E excludes S copies -- checked after every
+    // access for a sample of addresses.
+    Rng rng(2026);
+    auto sys = makeSystem(Protocol::MESI, 256);
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = 16 * rng.below(64);
+        unsigned cache = static_cast<unsigned>(rng.below(4));
+        sys.access(cache, addr, rng.chance(0.4));
+        ASSERT_TRUE(sys.coherenceInvariantHolds(addr))
+            << "after access " << i;
+    }
+}
+
+TEST(CoherenceInvariant, RandomTraceNeverViolatesMsi)
+{
+    Rng rng(77);
+    auto sys = makeSystem(Protocol::MSI, 256);
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = 16 * rng.below(64);
+        sys.access(static_cast<unsigned>(rng.below(4)), addr,
+                   rng.chance(0.4));
+        ASSERT_TRUE(sys.coherenceInvariantHolds(addr));
+    }
+}
+
+TEST(CoherenceStats, HitRatioAndInvalidatingWrites)
+{
+    auto sys = makeSystem();
+    sys.access(0, 0x0, false); // miss
+    sys.access(0, 0x0, false); // hit
+    sys.access(0, 0x0, true);  // hit
+    sys.access(1, 0x0, true);  // miss + invalidation
+    EXPECT_DOUBLE_EQ(sys.stats().hitRatio(), 0.5);
+    EXPECT_DOUBLE_EQ(sys.stats().invalidatingWriteRatio(), 0.5);
+}
+
+TEST(CoherenceSweep, LargerCachesNeverHitLess)
+{
+    // Property: on the same trace, hit ratio is monotonically
+    // nondecreasing in capacity (true for LRU inclusion).
+    Rng rng(5);
+    Trace trace;
+    for (int i = 0; i < 30000; ++i) {
+        trace.push_back(AccessRecord{
+            static_cast<std::uint8_t>(rng.below(4)), rng.chance(0.3),
+            16 * rng.below(512)});
+    }
+    double prev = -1.0;
+    for (std::size_t cap = 64; cap <= 8192; cap *= 2) {
+        CoherentCacheSystem sys(4, cap, 16, Protocol::MESI);
+        sys.run(trace);
+        double ratio = sys.stats().hitRatio();
+        EXPECT_GE(ratio + 1e-9, prev) << "capacity " << cap;
+        prev = ratio;
+    }
+}
+
+TEST(CoherenceConfig, RejectsBadGeometry)
+{
+    EXPECT_THROW(CoherentCacheSystem(0, 1024, 16, Protocol::MESI),
+                 FatalError);
+    EXPECT_THROW(CoherentCacheSystem(4, 1024, 24, Protocol::MESI),
+                 FatalError);
+    EXPECT_THROW(CoherentCacheSystem(4, 8, 16, Protocol::MESI),
+                 FatalError);
+}
+
+TEST(Mesi, ExclusiveStateAvoidsUpgradeBroadcast)
+{
+    // Private read-then-write: MESI is silent (E -> M); MSI must pay a
+    // bus upgrade even with no other copies.
+    auto mesi = makeSystem(Protocol::MESI);
+    mesi.access(0, 0x100, false);
+    mesi.access(0, 0x100, true);
+    EXPECT_EQ(mesi.stats().busUpgrades, 0u);
+
+    auto msi = makeSystem(Protocol::MSI);
+    msi.access(0, 0x100, false);
+    msi.access(0, 0x100, true);
+    EXPECT_EQ(msi.stats().busUpgrades, 1u);
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for Ethernet/UDP frame sizing and the payload integrity
+ * scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/frame.hh"
+#include "sim/logging.hh"
+
+using namespace tengig;
+
+TEST(FrameSizing, PayloadToFrameBytes)
+{
+    EXPECT_EQ(frameBytesForPayload(1472), 1518u); // max standard frame
+    EXPECT_EQ(frameBytesForPayload(18), 64u);     // min frame boundary
+    EXPECT_EQ(frameBytesForPayload(10), 64u);     // padded to minimum
+    EXPECT_EQ(frameBytesForPayload(100), 146u);
+}
+
+TEST(FrameSizing, WireOverheads)
+{
+    EXPECT_EQ(wireBytesForFrame(1518), 1538u); // +8 preamble +12 IFG
+    EXPECT_EQ(wireBytesForFrame(64), 84u);
+    EXPECT_EQ(txHeaderBytes, 42u);
+    EXPECT_EQ(framingOverheadBytes, 46u);
+}
+
+TEST(FrameSizing, LineRateMatchesPaper)
+{
+    // The paper: 812,744 maximum-sized frames per second per direction.
+    EXPECT_NEAR(lineRateFps(1518), 812744.0, 1.0);
+    // Minimum-sized frames: 14.88 M frames/s.
+    EXPECT_NEAR(lineRateFps(64), 14.88e6, 0.01e6);
+}
+
+TEST(FrameSizing, WireTimeIsExact)
+{
+    // 1538 byte times at 0.8 ns = 1230.4 ns.
+    EXPECT_EQ(wireTimeForFrame(1518), 1538u * 800u);
+}
+
+TEST(FrameSizing, UdpGoodputAtLineRate)
+{
+    // 1472 B payloads: 812744 f/s * 1472 B * 8 = 9.57 Gb/s.
+    EXPECT_NEAR(lineRateUdpGbps(1472), 9.57, 0.01);
+    // Tiny frames carry little goodput.
+    EXPECT_LT(lineRateUdpGbps(18), 2.2);
+}
+
+TEST(PayloadIntegrity, RoundTrip)
+{
+    std::vector<std::uint8_t> buf(1472);
+    fillPayload(buf.data(), 1472, 42);
+    std::uint32_t seq = 0;
+    EXPECT_TRUE(checkPayload(buf.data(), 1472, seq));
+    EXPECT_EQ(seq, 42u);
+}
+
+TEST(PayloadIntegrity, MinimumPayload)
+{
+    std::vector<std::uint8_t> buf(18);
+    fillPayload(buf.data(), 18, 7);
+    std::uint32_t seq = 0;
+    EXPECT_TRUE(checkPayload(buf.data(), 18, seq));
+    EXPECT_EQ(seq, 7u);
+}
+
+TEST(PayloadIntegrity, DetectsCorruption)
+{
+    std::vector<std::uint8_t> buf(256);
+    fillPayload(buf.data(), 256, 1);
+    buf[100] ^= 0x01;
+    std::uint32_t seq = 0;
+    EXPECT_FALSE(checkPayload(buf.data(), 256, seq));
+}
+
+TEST(PayloadIntegrity, DetectsLengthMismatch)
+{
+    std::vector<std::uint8_t> buf(256);
+    fillPayload(buf.data(), 256, 1);
+    std::uint32_t seq = 0;
+    EXPECT_FALSE(checkPayload(buf.data(), 255, seq));
+}
+
+TEST(PayloadIntegrity, DetectsHeaderCorruption)
+{
+    std::vector<std::uint8_t> buf(64);
+    fillPayload(buf.data(), 64, 9);
+    buf[12] ^= 0xff; // magic word
+    std::uint32_t seq = 0;
+    EXPECT_FALSE(checkPayload(buf.data(), 64, seq));
+}
+
+TEST(PayloadIntegrity, TooSmallPayloadPanics)
+{
+    std::vector<std::uint8_t> buf(8);
+    EXPECT_THROW(fillPayload(buf.data(), 8, 0), PanicError);
+    std::uint32_t seq;
+    EXPECT_FALSE(checkPayload(buf.data(), 8, seq));
+}
+
+TEST(PayloadIntegrity, DistinctSequencesProduceDistinctPatterns)
+{
+    std::vector<std::uint8_t> a(128), b(128);
+    fillPayload(a.data(), 128, 1);
+    fillPayload(b.data(), 128, 2);
+    EXPECT_NE(a, b);
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit tests for the host main-memory model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/host_memory.hh"
+
+using namespace tengig;
+
+TEST(HostMemory, ReadWriteRoundTrip)
+{
+    HostMemory hm(1024 * 1024);
+    const char msg[] = "frame payload bytes";
+    hm.write(0x100, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    hm.read(0x100, out, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(HostMemory, OutOfRangePanics)
+{
+    HostMemory hm(1024);
+    char b;
+    EXPECT_THROW(hm.read(1024, &b, 1), PanicError);
+    EXPECT_THROW(hm.write(1020, "hello", 5), PanicError);
+}
+
+TEST(HostMemory, AllocatorAlignsAndAvoidsZero)
+{
+    HostMemory hm(1024 * 1024);
+    Addr a = hm.alloc(100, 64);
+    Addr b = hm.alloc(100, 64);
+    EXPECT_NE(a, 0u);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(HostMemory, AllocatorExhaustionIsFatal)
+{
+    HostMemory hm(4096);
+    EXPECT_THROW(hm.alloc(8192), FatalError);
+}
+
+TEST(HostMemory, DirectDataPointers)
+{
+    HostMemory hm(4096);
+    hm.data(100)[0] = 0x5a;
+    EXPECT_EQ(hm.data(100)[0], 0x5a);
+    const HostMemory &chm = hm;
+    EXPECT_EQ(chm.data(100)[0], 0x5a);
+}

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the MIPS-subset assembler, functional machine (including
+ * R4000 delay-slot semantics), and the firmware kernels used to
+ * generate the Table 2 trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "src/mips/assembler.hh"
+#include "src/mips/kernels.hh"
+#include "src/mips/machine.hh"
+
+using namespace tengig;
+using namespace tengig::mips;
+
+namespace {
+
+/** Run a program to completion with preset argument registers. */
+std::uint64_t
+runProg(Machine &m, const Program &p, std::uint32_t a0 = 0,
+        std::uint32_t a1 = 0, std::uint32_t a2 = 0,
+        ilp::InstrTrace *trace = nullptr)
+{
+    m.setReg(4, a0);
+    m.setReg(5, a1);
+    m.setReg(6, a2);
+    m.setReg(31, Machine::returnSentinel);
+    return m.run(p, 1'000'000, trace);
+}
+
+} // namespace
+
+TEST(Assembler, ParsesRegistersByNameAndNumber)
+{
+    EXPECT_EQ(parseRegister("$zero"), 0u);
+    EXPECT_EQ(parseRegister("$t0"), 8u);
+    EXPECT_EQ(parseRegister("$a3"), 7u);
+    EXPECT_EQ(parseRegister("$ra"), 31u);
+    EXPECT_EQ(parseRegister("$17"), 17u);
+    EXPECT_THROW(parseRegister("$32"), FatalError);
+    EXPECT_THROW(parseRegister("t0"), FatalError);
+    EXPECT_THROW(parseRegister("$bogus"), FatalError);
+}
+
+TEST(Assembler, EncodesBasicForms)
+{
+    Program p = assemble("t", R"(
+        li    $t0, 5
+        addiu $t1, $t0, -1
+        addu  $t2, $t0, $t1
+        lw    $t3, 8($t2)
+        sw    $t3, 12($t2)
+        nop
+    )");
+    ASSERT_EQ(p.code.size(), 6u);
+    EXPECT_EQ(p.code[0].op, Op::Addiu); // li expands
+    EXPECT_EQ(p.code[0].rd, 8u);
+    EXPECT_EQ(p.code[1].imm, -1);
+    EXPECT_EQ(p.code[3].op, Op::Lw);
+    EXPECT_EQ(p.code[3].imm, 8);
+    EXPECT_EQ(p.code[4].op, Op::Sw);
+}
+
+TEST(Assembler, ResolvesLabelsForwardAndBackward)
+{
+    Program p = assemble("t", R"(
+    top:
+        beq  $t0, $t1, end
+        nop
+        j    top
+        nop
+    end:
+        nop
+    )");
+    EXPECT_EQ(p.code[0].imm, 4); // 'end' is instruction index 4
+    EXPECT_EQ(p.code[2].imm, 0); // 'top'
+}
+
+TEST(Assembler, DiagnosesErrors)
+{
+    EXPECT_THROW(assemble("t", "frobnicate $t0, $t1\n"), FatalError);
+    EXPECT_THROW(assemble("t", "beq $t0, $t1, nowhere\nnop\n"),
+                 FatalError);
+    EXPECT_THROW(assemble("t", "addu $t0, $t1\n"), FatalError);
+    EXPECT_THROW(assemble("t", "lw $t0, 4[$a0]\n"), FatalError);
+    EXPECT_THROW(assemble("t", "x: x: nop\n"), FatalError);
+    EXPECT_THROW(assemble("t", "# only a comment\n"), FatalError);
+}
+
+TEST(Machine, ArithmeticAndLogic)
+{
+    Machine m;
+    Program p = assemble("t", R"(
+        li   $t0, 21
+        sll  $t1, $t0, 1      # 42
+        li   $t2, 0x0ff0
+        andi $t3, $t2, 0xff   # 0xf0
+        or   $v0, $t1, $t3
+        slt  $v1, $t1, $t2
+        jr   $ra
+        nop
+    )");
+    runProg(m, p);
+    EXPECT_EQ(m.reg(2), (42u | 0xf0u));
+    EXPECT_EQ(m.reg(3), 1u);
+}
+
+TEST(Machine, RegisterZeroIsHardwired)
+{
+    Machine m;
+    Program p = assemble("t", R"(
+        li   $zero, 99
+        addu $v0, $zero, $zero
+        jr   $ra
+        nop
+    )");
+    runProg(m, p);
+    EXPECT_EQ(m.reg(0), 0u);
+    EXPECT_EQ(m.reg(2), 0u);
+}
+
+TEST(Machine, LoadsAndStores)
+{
+    Machine m;
+    m.storeWord(0x100, 0x11223344);
+    Program p = assemble("t", R"(
+        lw   $t0, 0($a0)
+        addiu $t0, $t0, 1
+        sw   $t0, 4($a0)
+        lbu  $v0, 0($a0)       # low byte, little endian
+        lb   $v1, 3($a0)       # sign-extended high byte
+        jr   $ra
+        nop
+    )");
+    runProg(m, p, 0x100);
+    EXPECT_EQ(m.loadWord(0x104), 0x11223345u);
+    EXPECT_EQ(m.reg(2), 0x44u);
+    EXPECT_EQ(m.reg(3), 0x11u);
+}
+
+TEST(Machine, DelaySlotAlwaysExecutes)
+{
+    // The instruction after a taken branch must still execute.
+    Machine m;
+    Program p = assemble("t", R"(
+        li   $t0, 0
+        li   $t1, 0
+        beq  $zero, $zero, after
+        addiu $t0, $t0, 1      # delay slot: must run
+        addiu $t1, $t1, 1      # skipped
+    after:
+        jr   $ra
+        nop
+    )");
+    runProg(m, p);
+    EXPECT_EQ(m.reg(8), 1u);
+    EXPECT_EQ(m.reg(9), 0u);
+}
+
+TEST(Machine, LoopComputesSum)
+{
+    // Sum 1..10 via a counted loop.
+    Machine m;
+    Program p = assemble("t", R"(
+        li   $v0, 0
+        li   $t0, 10
+    loop:
+        addu $v0, $v0, $t0
+        addiu $t0, $t0, -1
+        bgtz $t0, loop
+        nop
+        jr   $ra
+        nop
+    )");
+    std::uint64_t n = runProg(m, p);
+    EXPECT_EQ(m.reg(2), 55u);
+    EXPECT_GT(n, 30u); // 10 iterations x ~4 instructions
+}
+
+TEST(Machine, JalAndJrImplementCalls)
+{
+    Machine m;
+    Program p = assemble("t", R"(
+        li   $a0, 7
+        jal  double
+        nop
+        addiu $v1, $v0, 100    # after return
+        jr   $ra
+        nop
+    double:
+        addu $v0, $a0, $a0
+        jr   $ra
+        nop
+    )");
+    m.setReg(31, Machine::returnSentinel);
+    m.run(p);
+    EXPECT_EQ(m.reg(2), 14u);
+    EXPECT_EQ(m.reg(3), 114u);
+}
+
+TEST(Machine, OutOfRangeAccessPanics)
+{
+    Machine m(256);
+    Program p = assemble("t", "lw $t0, 0($a0)\njr $ra\nnop\n");
+    m.setReg(4, 1024);
+    m.setReg(31, Machine::returnSentinel);
+    EXPECT_THROW(m.run(p), PanicError);
+}
+
+TEST(Machine, InstructionCapStopsRunawayLoops)
+{
+    Machine m;
+    Program p = assemble("t", "spin: j spin\nnop\n");
+    EXPECT_EQ(m.run(p, 1000), 1000u);
+}
+
+TEST(Kernels, ParseBdsCountsValidDescriptors)
+{
+    FirmwareKernels k = assembleKernels();
+    Machine m;
+    // Three descriptors: valid, zero-length, oversize.
+    m.storeWord(0x1000 + 8, 1000);
+    m.storeWord(0x1000 + 12, 3);
+    m.storeWord(0x1010 + 8, 0);
+    m.storeWord(0x1020 + 8, 5000);
+    runProg(m, k.parseBds, 0x1000, 3);
+    EXPECT_EQ(m.reg(2), 1u);
+}
+
+TEST(Kernels, ScanFlagsClearsConsecutiveRun)
+{
+    FirmwareKernels k = assembleKernels();
+    Machine m;
+    m.storeWord(0x3000, 0b011100); // bits 2,3,4
+    runProg(m, k.scanFlags, 0x3000, 2, 32);
+    EXPECT_EQ(m.reg(2), 3u); // cleared three consecutive bits
+    EXPECT_EQ(m.loadWord(0x3000), 0u);
+}
+
+TEST(Kernels, ScanFlagsStopsAtGap)
+{
+    FirmwareKernels k = assembleKernels();
+    Machine m;
+    m.storeWord(0x3000, 0b101); // bit 1 clear
+    runProg(m, k.scanFlags, 0x3000, 0, 32);
+    EXPECT_EQ(m.reg(2), 1u);
+    EXPECT_EQ(m.loadWord(0x3000), 0b100u);
+}
+
+TEST(Kernels, ChecksumMatchesReference)
+{
+    FirmwareKernels k = assembleKernels();
+    Machine m;
+    std::uint8_t data[6] = {0x45, 0x00, 0x01, 0x23, 0xab, 0xcd};
+    for (unsigned i = 0; i < 6; ++i)
+        m.storeByte(0x4000 + i, data[i]);
+    runProg(m, k.checksum, 0x4000, 6);
+    // Reference ones-complement sum of 16-bit big-endian words.
+    std::uint32_t sum = 0x4500 + 0x0123 + 0xabcd;
+    sum = (sum & 0xffff) + (sum >> 16);
+    sum = (sum & 0xffff) + (sum >> 16);
+    EXPECT_EQ(m.reg(2), (~sum) & 0xffffu);
+}
+
+TEST(Kernels, TraceGenerationIsSubstantialAndShaped)
+{
+    ilp::InstrTrace t = firmwareKernelTrace(50000);
+    EXPECT_GE(t.size(), 50000u);
+    std::size_t loads = 0, stores = 0, branches = 0;
+    for (const auto &in : t) {
+        loads += in.cls == ilp::InstrClass::Load;
+        stores += in.cls == ilp::InstrClass::Store;
+        branches += in.cls == ilp::InstrClass::Branch;
+    }
+    // Memory-access density in the firmware's characteristic range.
+    double mem_frac = static_cast<double>(loads + stores) / t.size();
+    EXPECT_GT(mem_frac, 0.10);
+    EXPECT_LT(mem_frac, 0.45);
+    double br_frac = static_cast<double>(branches) / t.size();
+    EXPECT_GT(br_frac, 0.10);
+    EXPECT_LT(br_frac, 0.35);
+}
+
+TEST(Kernels, TraceDrivesIlpAnalyzerSanely)
+{
+    ilp::InstrTrace t = firmwareKernelTrace(30000);
+    ilp::IlpConfig io1;
+    io1.inOrder = true;
+    io1.width = 1;
+    io1.perfectPipeline = false;
+    io1.branch = ilp::BranchModel::None;
+    double base = ilp::analyzeIpc(t, io1);
+    EXPECT_GT(base, 0.6);
+    EXPECT_LE(base, 1.0);
+
+    ilp::IlpConfig ooo4 = io1;
+    ooo4.inOrder = false;
+    ooo4.width = 4;
+    ooo4.branch = ilp::BranchModel::Perfect;
+    EXPECT_GT(ilp::analyzeIpc(t, ooo4), base);
+}

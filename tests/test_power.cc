@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the activity-based power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/power/power_model.hh"
+
+using namespace tengig;
+using namespace tengig::power;
+
+namespace {
+
+/** Build a synthetic result with controlled activity. */
+NicResults
+makeResults(double idle_frac)
+{
+    NicResults r;
+    r.measuredTicks = tickPerMs;
+    r.coreTotals.executeCycles =
+        static_cast<std::uint64_t>(700000 * (1 - idle_frac));
+    r.coreTotals.loadStallCycles =
+        static_cast<std::uint64_t>(300000 * (1 - idle_frac));
+    r.coreTotals.idleCycles =
+        static_cast<std::uint64_t>(1000000 * idle_frac);
+    r.coreTotals.instructions = r.coreTotals.executeCycles;
+    r.aggregateIpc = 0.7;
+    r.spadGbps = 9.0;
+    r.sdramGbps = 39.7;
+    r.imemGbps = 0.5;
+    r.txFps = 812744;
+    r.rxFps = 812744;
+    return r;
+}
+
+} // namespace
+
+TEST(PowerModel, ComponentsArePositiveAndSum)
+{
+    NicConfig cfg;
+    cfg.cores = 6;
+    cfg.cpuMhz = 200.0;
+    PowerBreakdown b = estimate(cfg, makeResults(0.05));
+    EXPECT_GT(b.coresW, 0.0);
+    EXPECT_GT(b.scratchpadW, 0.0);
+    EXPECT_GT(b.sdramW, 0.0);
+    EXPECT_GT(b.macW, 0.0);
+    EXPECT_NEAR(b.totalW(),
+                b.coresW + b.scratchpadW + b.instructionW + b.sdramW +
+                b.macW, 1e-12);
+    // Sanity: a 6-core embedded NIC lands in single-digit watts.
+    EXPECT_LT(b.totalW(), 10.0);
+    EXPECT_GT(b.totalW(), 0.5);
+}
+
+TEST(PowerModel, LowerFrequencyLowersCorePower)
+{
+    NicConfig a, b;
+    a.cores = b.cores = 6;
+    a.cpuMhz = 200.0;
+    b.cpuMhz = 166.0;
+    NicResults r = makeResults(0.03);
+    EXPECT_GT(estimate(a, r).coresW, estimate(b, r).coresW);
+}
+
+TEST(PowerModel, HighFrequencyPaysVoltagePenalty)
+{
+    // 1 core at 1000 MHz must burn far more than 6 cores at 166 MHz
+    // (same cycle budget): the f*V^2 term.
+    NicConfig one, six;
+    one.cores = 1;
+    one.cpuMhz = 1000.0;
+    six.cores = 6;
+    six.cpuMhz = 166.0;
+    NicResults r = makeResults(0.03);
+    EXPECT_GT(estimate(one, r).coresW, 2.0 * estimate(six, r).coresW);
+}
+
+TEST(PowerModel, IdleCoresAreCheaper)
+{
+    NicConfig cfg;
+    cfg.cores = 6;
+    cfg.cpuMhz = 200.0;
+    EXPECT_GT(estimate(cfg, makeResults(0.0)).coresW,
+              estimate(cfg, makeResults(0.8)).coresW);
+}
+
+TEST(PowerModel, EnergyPerFrameScalesWithPower)
+{
+    NicConfig cfg;
+    cfg.cores = 6;
+    cfg.cpuMhz = 200.0;
+    NicResults r = makeResults(0.05);
+    PowerBreakdown b = estimate(cfg, r);
+    double nj = energyPerFrameNj(b, r);
+    EXPECT_NEAR(nj, b.totalW() / (2 * 812744.0) * 1e9, 1e-6);
+}
+
+TEST(PowerModel, ZeroWindowYieldsZero)
+{
+    NicConfig cfg;
+    NicResults r;
+    EXPECT_DOUBLE_EQ(estimate(cfg, r).totalW(), 0.0);
+    EXPECT_DOUBLE_EQ(energyPerFrameNj(PowerBreakdown{}, r), 0.0);
+}

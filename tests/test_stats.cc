@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace tengig::stats;
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, NegativeValues)
+{
+    Average a;
+    a.sample(-3.0);
+    a.sample(1.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 1.0);
+    EXPECT_DOUBLE_EQ(a.mean(), -1.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10, 4); // buckets [0,10) [10,20) [20,30) [30,40) + overflow
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    h.sample(40);   // overflow
+    h.sample(1000); // overflow
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(4), 2u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 2.0 / 6.0);
+}
+
+TEST(Histogram, MeanOfSamples)
+{
+    Histogram h(1, 8);
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Report, SetGetHasPrint)
+{
+    Report r;
+    r.set("nic.throughputGbps", 9.87);
+    r.set("nic.frames", 1000);
+    EXPECT_TRUE(r.has("nic.frames"));
+    EXPECT_FALSE(r.has("nope"));
+    EXPECT_DOUBLE_EQ(r.get("nic.throughputGbps"), 9.87);
+    EXPECT_DOUBLE_EQ(r.get("missing"), 0.0);
+
+    std::ostringstream os;
+    r.print(os);
+    EXPECT_NE(os.str().find("nic.throughputGbps"), std::string::npos);
+
+    std::ostringstream filtered;
+    r.print(filtered, "nic.frames");
+    EXPECT_EQ(filtered.str().find("throughput"), std::string::npos);
+    EXPECT_NE(filtered.str().find("nic.frames"), std::string::npos);
+}
