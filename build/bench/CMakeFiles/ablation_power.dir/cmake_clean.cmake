@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_power.dir/ablation_power.cc.o"
+  "CMakeFiles/ablation_power.dir/ablation_power.cc.o.d"
+  "ablation_power"
+  "ablation_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

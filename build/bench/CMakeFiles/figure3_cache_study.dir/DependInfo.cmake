@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/figure3_cache_study.cc" "bench/CMakeFiles/figure3_cache_study.dir/figure3_cache_study.cc.o" "gcc" "bench/CMakeFiles/figure3_cache_study.dir/figure3_cache_study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nic/CMakeFiles/tengig_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/tengig_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/tengig_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/tengig_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/assist/CMakeFiles/tengig_assist.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/tengig_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tengig_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tengig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tengig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

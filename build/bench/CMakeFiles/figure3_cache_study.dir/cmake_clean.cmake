@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_cache_study.dir/figure3_cache_study.cc.o"
+  "CMakeFiles/figure3_cache_study.dir/figure3_cache_study.cc.o.d"
+  "figure3_cache_study"
+  "figure3_cache_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_cache_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_scaling.dir/figure7_scaling.cc.o"
+  "CMakeFiles/figure7_scaling.dir/figure7_scaling.cc.o.d"
+  "figure7_scaling"
+  "figure7_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

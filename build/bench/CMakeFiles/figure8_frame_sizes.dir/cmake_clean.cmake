@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_frame_sizes.dir/figure8_frame_sizes.cc.o"
+  "CMakeFiles/figure8_frame_sizes.dir/figure8_frame_sizes.cc.o.d"
+  "figure8_frame_sizes"
+  "figure8_frame_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_frame_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_task_profile.dir/table1_task_profile.cc.o"
+  "CMakeFiles/table1_task_profile.dir/table1_task_profile.cc.o.d"
+  "table1_task_profile"
+  "table1_task_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_task_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ilp_limits.dir/table2_ilp_limits.cc.o"
+  "CMakeFiles/table2_ilp_limits.dir/table2_ilp_limits.cc.o.d"
+  "table2_ilp_limits"
+  "table2_ilp_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ilp_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

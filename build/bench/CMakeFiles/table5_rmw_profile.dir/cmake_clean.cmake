@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_rmw_profile.dir/table5_rmw_profile.cc.o"
+  "CMakeFiles/table5_rmw_profile.dir/table5_rmw_profile.cc.o.d"
+  "table5_rmw_profile"
+  "table5_rmw_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_rmw_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

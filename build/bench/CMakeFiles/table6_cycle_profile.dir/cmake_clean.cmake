@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_cycle_profile.dir/table6_cycle_profile.cc.o"
+  "CMakeFiles/table6_cycle_profile.dir/table6_cycle_profile.cc.o.d"
+  "table6_cycle_profile"
+  "table6_cycle_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_cycle_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_comparison.dir/firmware_comparison.cpp.o"
+  "CMakeFiles/firmware_comparison.dir/firmware_comparison.cpp.o.d"
+  "firmware_comparison"
+  "firmware_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_headroom.dir/offload_headroom.cpp.o"
+  "CMakeFiles/offload_headroom.dir/offload_headroom.cpp.o.d"
+  "offload_headroom"
+  "offload_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

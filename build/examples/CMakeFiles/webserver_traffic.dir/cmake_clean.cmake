@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_traffic.dir/webserver_traffic.cpp.o"
+  "CMakeFiles/webserver_traffic.dir/webserver_traffic.cpp.o.d"
+  "webserver_traffic"
+  "webserver_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

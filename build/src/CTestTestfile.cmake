@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("proc")
+subdirs("net")
+subdirs("host")
+subdirs("assist")
+subdirs("firmware")
+subdirs("nic")
+subdirs("coherence")
+subdirs("ilp")
+subdirs("mips")
+subdirs("power")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tengig_assist.dir/dma_assist.cc.o"
+  "CMakeFiles/tengig_assist.dir/dma_assist.cc.o.d"
+  "CMakeFiles/tengig_assist.dir/mac.cc.o"
+  "CMakeFiles/tengig_assist.dir/mac.cc.o.d"
+  "libtengig_assist.a"
+  "libtengig_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tengig_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tengig_coherence.dir/coherent_cache.cc.o"
+  "CMakeFiles/tengig_coherence.dir/coherent_cache.cc.o.d"
+  "CMakeFiles/tengig_coherence.dir/trace_capture.cc.o"
+  "CMakeFiles/tengig_coherence.dir/trace_capture.cc.o.d"
+  "libtengig_coherence.a"
+  "libtengig_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tengig_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

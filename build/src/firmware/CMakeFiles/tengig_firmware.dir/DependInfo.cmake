@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firmware/event_register.cc" "src/firmware/CMakeFiles/tengig_firmware.dir/event_register.cc.o" "gcc" "src/firmware/CMakeFiles/tengig_firmware.dir/event_register.cc.o.d"
+  "/root/repo/src/firmware/frame_level.cc" "src/firmware/CMakeFiles/tengig_firmware.dir/frame_level.cc.o" "gcc" "src/firmware/CMakeFiles/tengig_firmware.dir/frame_level.cc.o.d"
+  "/root/repo/src/firmware/fw_state.cc" "src/firmware/CMakeFiles/tengig_firmware.dir/fw_state.cc.o" "gcc" "src/firmware/CMakeFiles/tengig_firmware.dir/fw_state.cc.o.d"
+  "/root/repo/src/firmware/tasks.cc" "src/firmware/CMakeFiles/tengig_firmware.dir/tasks.cc.o" "gcc" "src/firmware/CMakeFiles/tengig_firmware.dir/tasks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proc/CMakeFiles/tengig_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/assist/CMakeFiles/tengig_assist.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/tengig_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tengig_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tengig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tengig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

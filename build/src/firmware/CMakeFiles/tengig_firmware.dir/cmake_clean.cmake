@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tengig_firmware.dir/event_register.cc.o"
+  "CMakeFiles/tengig_firmware.dir/event_register.cc.o.d"
+  "CMakeFiles/tengig_firmware.dir/frame_level.cc.o"
+  "CMakeFiles/tengig_firmware.dir/frame_level.cc.o.d"
+  "CMakeFiles/tengig_firmware.dir/fw_state.cc.o"
+  "CMakeFiles/tengig_firmware.dir/fw_state.cc.o.d"
+  "CMakeFiles/tengig_firmware.dir/tasks.cc.o"
+  "CMakeFiles/tengig_firmware.dir/tasks.cc.o.d"
+  "libtengig_firmware.a"
+  "libtengig_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tengig_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

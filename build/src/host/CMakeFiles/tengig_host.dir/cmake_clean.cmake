@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tengig_host.dir/driver.cc.o"
+  "CMakeFiles/tengig_host.dir/driver.cc.o.d"
+  "libtengig_host.a"
+  "libtengig_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tengig_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tengig_ilp.dir/ilp_analyzer.cc.o"
+  "CMakeFiles/tengig_ilp.dir/ilp_analyzer.cc.o.d"
+  "libtengig_ilp.a"
+  "libtengig_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tengig_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

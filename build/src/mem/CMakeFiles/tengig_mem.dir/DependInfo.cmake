@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/icache.cc" "src/mem/CMakeFiles/tengig_mem.dir/icache.cc.o" "gcc" "src/mem/CMakeFiles/tengig_mem.dir/icache.cc.o.d"
+  "/root/repo/src/mem/scratchpad.cc" "src/mem/CMakeFiles/tengig_mem.dir/scratchpad.cc.o" "gcc" "src/mem/CMakeFiles/tengig_mem.dir/scratchpad.cc.o.d"
+  "/root/repo/src/mem/sdram.cc" "src/mem/CMakeFiles/tengig_mem.dir/sdram.cc.o" "gcc" "src/mem/CMakeFiles/tengig_mem.dir/sdram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tengig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

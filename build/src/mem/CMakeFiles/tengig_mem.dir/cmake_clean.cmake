@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tengig_mem.dir/icache.cc.o"
+  "CMakeFiles/tengig_mem.dir/icache.cc.o.d"
+  "CMakeFiles/tengig_mem.dir/scratchpad.cc.o"
+  "CMakeFiles/tengig_mem.dir/scratchpad.cc.o.d"
+  "CMakeFiles/tengig_mem.dir/sdram.cc.o"
+  "CMakeFiles/tengig_mem.dir/sdram.cc.o.d"
+  "libtengig_mem.a"
+  "libtengig_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tengig_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtengig_mem.a"
+)

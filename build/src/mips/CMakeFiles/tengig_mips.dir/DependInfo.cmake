@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mips/assembler.cc" "src/mips/CMakeFiles/tengig_mips.dir/assembler.cc.o" "gcc" "src/mips/CMakeFiles/tengig_mips.dir/assembler.cc.o.d"
+  "/root/repo/src/mips/kernels.cc" "src/mips/CMakeFiles/tengig_mips.dir/kernels.cc.o" "gcc" "src/mips/CMakeFiles/tengig_mips.dir/kernels.cc.o.d"
+  "/root/repo/src/mips/machine.cc" "src/mips/CMakeFiles/tengig_mips.dir/machine.cc.o" "gcc" "src/mips/CMakeFiles/tengig_mips.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ilp/CMakeFiles/tengig_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tengig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tengig_mips.dir/assembler.cc.o"
+  "CMakeFiles/tengig_mips.dir/assembler.cc.o.d"
+  "CMakeFiles/tengig_mips.dir/kernels.cc.o"
+  "CMakeFiles/tengig_mips.dir/kernels.cc.o.d"
+  "CMakeFiles/tengig_mips.dir/machine.cc.o"
+  "CMakeFiles/tengig_mips.dir/machine.cc.o.d"
+  "libtengig_mips.a"
+  "libtengig_mips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tengig_mips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tengig_net.dir/endpoints.cc.o"
+  "CMakeFiles/tengig_net.dir/endpoints.cc.o.d"
+  "CMakeFiles/tengig_net.dir/frame.cc.o"
+  "CMakeFiles/tengig_net.dir/frame.cc.o.d"
+  "libtengig_net.a"
+  "libtengig_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tengig_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

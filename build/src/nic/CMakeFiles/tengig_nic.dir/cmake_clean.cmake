@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tengig_nic.dir/controller.cc.o"
+  "CMakeFiles/tengig_nic.dir/controller.cc.o.d"
+  "libtengig_nic.a"
+  "libtengig_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tengig_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tengig_power.dir/power_model.cc.o"
+  "CMakeFiles/tengig_power.dir/power_model.cc.o.d"
+  "libtengig_power.a"
+  "libtengig_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tengig_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

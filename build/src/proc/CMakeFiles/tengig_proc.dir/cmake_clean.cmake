@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tengig_proc.dir/core.cc.o"
+  "CMakeFiles/tengig_proc.dir/core.cc.o.d"
+  "libtengig_proc.a"
+  "libtengig_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tengig_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

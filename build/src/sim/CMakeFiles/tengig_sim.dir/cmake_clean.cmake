@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tengig_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tengig_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tengig_sim.dir/logging.cc.o"
+  "CMakeFiles/tengig_sim.dir/logging.cc.o.d"
+  "CMakeFiles/tengig_sim.dir/stats.cc.o"
+  "CMakeFiles/tengig_sim.dir/stats.cc.o.d"
+  "libtengig_sim.a"
+  "libtengig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tengig_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dma_assist.dir/test_dma_assist.cc.o"
+  "CMakeFiles/test_dma_assist.dir/test_dma_assist.cc.o.d"
+  "test_dma_assist"
+  "test_dma_assist.pdb"
+  "test_dma_assist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dma_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

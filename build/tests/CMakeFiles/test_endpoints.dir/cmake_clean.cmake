@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_endpoints.dir/test_endpoints.cc.o"
+  "CMakeFiles/test_endpoints.dir/test_endpoints.cc.o.d"
+  "test_endpoints"
+  "test_endpoints.pdb"
+  "test_endpoints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_endpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_sweeps.dir/test_mem_sweeps.cc.o"
+  "CMakeFiles/test_mem_sweeps.dir/test_mem_sweeps.cc.o.d"
+  "test_mem_sweeps"
+  "test_mem_sweeps.pdb"
+  "test_mem_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic_integration.dir/test_nic_integration.cc.o"
+  "CMakeFiles/test_nic_integration.dir/test_nic_integration.cc.o.d"
+  "test_nic_integration"
+  "test_nic_integration.pdb"
+  "test_nic_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic_sweeps.dir/test_nic_sweeps.cc.o"
+  "CMakeFiles/test_nic_sweeps.dir/test_nic_sweeps.cc.o.d"
+  "test_nic_sweeps"
+  "test_nic_sweeps.pdb"
+  "test_nic_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

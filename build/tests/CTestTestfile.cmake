@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_clock[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_random[1]_include.cmake")
+include("/root/repo/build/tests/test_scratchpad[1]_include.cmake")
+include("/root/repo/build/tests/test_icache[1]_include.cmake")
+include("/root/repo/build/tests/test_sdram[1]_include.cmake")
+include("/root/repo/build/tests/test_host_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_nic_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_frame[1]_include.cmake")
+include("/root/repo/build/tests/test_endpoints[1]_include.cmake")
+include("/root/repo/build/tests/test_dma_assist[1]_include.cmake")
+include("/root/repo/build/tests/test_mac[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_firmware[1]_include.cmake")
+include("/root/repo/build/tests/test_nic_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence[1]_include.cmake")
+include("/root/repo/build/tests/test_ilp[1]_include.cmake")
+include("/root/repo/build/tests/test_mips[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_sweeps[1]_include.cmake")
