@@ -3,10 +3,20 @@
 namespace tengig {
 
 MacTx::MacTx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram_,
-             FrameSink &sink_, unsigned sdram_requester,
+             Deliver deliver_, unsigned sdram_requester,
              unsigned fifo_depth)
-    : Clocked(eq, domain), sdram(sdram_), sink(sink_),
+    : Clocked(eq, domain), sdram(sdram_), deliver(std::move(deliver_)),
       sdramRequester(sdram_requester), fifoDepth(fifo_depth)
+{}
+
+MacTx::MacTx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram_,
+             FrameSink &sink, unsigned sdram_requester,
+             unsigned fifo_depth)
+    : MacTx(eq, domain, sdram_,
+            Deliver([&sink](const std::uint8_t *bytes, unsigned len) {
+                sink.deliver(bytes, len);
+            }),
+            sdram_requester, fifo_depth)
 {}
 
 bool
@@ -53,7 +63,7 @@ MacTx::enqueueWire(Command cmd)
                                 frame]() mutable {
         std::vector<std::uint8_t> bytes(cmd.lenBytes);
         sdram.readBytes(cmd.sdramAddr, bytes.data(), cmd.lenBytes);
-        sink.deliver(bytes.data(), cmd.lenBytes);
+        deliver(bytes.data(), cmd.lenBytes);
         ++frames;
         frameBytes += frame;
         wireBytes += wireBytesForFrame(frame);

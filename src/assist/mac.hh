@@ -43,6 +43,14 @@ class MacTx : public Clocked
         std::function<void()> done;  //!< fires when the frame has left
     };
 
+    /** Wire-side consumer of transmitted frames (header+payload). */
+    using Deliver = std::function<void(const std::uint8_t *, unsigned)>;
+
+    MacTx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram,
+          Deliver deliver, unsigned sdram_requester,
+          unsigned fifo_depth = 32);
+
+    /** Convenience: deliver transmitted frames to a FrameSink. */
     MacTx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram,
           FrameSink &sink, unsigned sdram_requester,
           unsigned fifo_depth = 32);
@@ -71,7 +79,7 @@ class MacTx : public Clocked
     void enqueueWire(Command cmd);
 
     GddrSdram &sdram;
-    FrameSink &sink;
+    Deliver deliver;
     unsigned sdramRequester;
     unsigned fifoDepth;
 

@@ -23,6 +23,15 @@
  *    path lock rises.
  *  - §6.3/Table 6: with 6 cores both configurations reach line rate --
  *    software-only at 200 MHz, RMW-enhanced at 166 MHz (17% lower).
+ *
+ * Frame-size independence: every constant here is per frame (or per
+ * BD/batch), never per byte, because payload bytes move through the
+ * DMA and MAC assists -- firmware only touches descriptors and
+ * metadata, whose size does not depend on the frame's.  That is what
+ * makes the model valid for the mixed-size multi-flow workloads in
+ * src/traffic without recalibration: a 90-byte request costs the
+ * firmware the same instructions as a 1472-byte response, and only
+ * the assists' byte-proportional wire/DMA occupancy changes.
  */
 
 #ifndef TENGIG_FIRMWARE_CALIBRATION_HH

@@ -12,6 +12,8 @@ DeviceDriver::DeviceDriver(HostMemory &host_, const Config &cfg)
              "tx payload must be in [18, 1472], got ", cfg.txPayloadBytes);
     fatal_if(cfg.tsoSegments == 0 || cfg.tsoSegments > 255,
              "tsoSegments must be in [1, 255]");
+    fatal_if(cfg.txFrameSpec && cfg.tsoSegments != 1,
+             "mixed-size tx schedules are incompatible with TSO");
     fatal_if(cfg.sendRingFrames % cfg.tsoSegments != 0,
              "send ring must hold whole TSO groups");
 
@@ -59,12 +61,24 @@ DeviceDriver::postOneSendFrame()
     host.write(buf, hdr, sizeof(hdr));
 
     // Per-segment payloads laid out back to back in the large buffer,
-    // each individually validatable at the wire sink.
+    // each individually validatable at the wire sink.  A multi-flow
+    // schedule picks this frame's flow and size and stamps the flow's
+    // own sequence space; otherwise every frame is flow 0 at the
+    // configured fixed size.
     unsigned payload = config.txPayloadBytes;
-    for (unsigned s = 0; s < segs; ++s) {
-        fillPayload(host.data(buf + txHeaderBytes +
-                              static_cast<Addr>(s) * payload),
-                    payload, static_cast<std::uint32_t>(seq + s));
+    if (config.txFrameSpec) {
+        auto [flow, bytes] = config.txFrameSpec(seq);
+        fatal_if(bytes < 18 || bytes > udpMaxPayloadBytes,
+                 "tx schedule payload out of range: ", bytes);
+        payload = bytes;
+        fillPayload(host.data(buf + txHeaderBytes), payload,
+                    txFlowSeq[flow]++, flow);
+    } else {
+        for (unsigned s = 0; s < segs; ++s) {
+            fillPayload(host.data(buf + txHeaderBytes +
+                                  static_cast<Addr>(s) * payload),
+                        payload, static_cast<std::uint32_t>(seq + s));
+        }
     }
 
     std::uint32_t flags = BufferDesc::flagLast;
@@ -154,18 +168,25 @@ void
 DeviceDriver::rxCompletion(Addr host_buf, std::uint32_t len)
 {
     ++rxDelivered;
-    std::uint32_t seq = 0;
-    if (len <= txHeaderBytes ||
-        !checkPayload(host.data(host_buf + txHeaderBytes),
-                      len - txHeaderBytes, seq)) {
-        ++rxBad;
+    if (rxDeliver) {
+        // External (per-flow) validation owns the frame check.
+        rxDeliver(host.data(host_buf), len);
     } else {
-        rxPayload += len - txHeaderBytes;
-        // Drops upstream (MAC overruns) legitimately create gaps; only
-        // a regression or duplicate is an ordering violation.
-        if (seq < rxExpectedSeq)
-            ++rxOutOfOrder;
-        rxExpectedSeq = seq + 1;
+        std::uint32_t seq = 0;
+        if (len <= txHeaderBytes ||
+            !checkPayload(host.data(host_buf + txHeaderBytes),
+                          len - txHeaderBytes, seq)) {
+            ++rxBad;
+        } else {
+            rxPayload += len - txHeaderBytes;
+            // Drops upstream (MAC overruns) legitimately create gaps;
+            // only a regression or duplicate is an ordering violation.
+            if (seq > rxExpectedSeq)
+                ++rxGaps;
+            else if (seq < rxExpectedSeq)
+                ++rxOutOfOrder;
+            rxExpectedSeq = seq + 1;
+        }
     }
 
     // Replenish the pool in batches once enough buffers are returned.

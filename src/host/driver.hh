@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mem/host_memory.hh"
@@ -62,6 +64,15 @@ class DeviceDriver
          * plus one large payload BD the NIC slices into frames.
          */
         unsigned tsoSegments = 1;
+
+        /**
+         * Multi-flow workload schedule: (flow id, payload bytes) for
+         * posted frame number i.  When set, txPayloadBytes is ignored,
+         * every frame carries its flow's own sequence space, and TSO
+         * must be off (mixed sizes cannot share one sliced buffer).
+         */
+        std::function<std::pair<std::uint32_t, unsigned>(std::uint64_t)>
+            txFrameSpec;
     };
 
     DeviceDriver(HostMemory &host, const Config &cfg);
@@ -114,6 +125,17 @@ class DeviceDriver
     void rxCompletion(Addr host_buf, std::uint32_t len);
     /// @}
 
+    /**
+     * Divert delivered receive frames (header + payload) to an
+     * external validator -- e.g. a per-flow FlowSink -- instead of the
+     * driver's built-in single-stream sequence check.
+     */
+    void
+    onRxDeliver(std::function<void(const std::uint8_t *, unsigned)> fn)
+    {
+        rxDeliver = std::move(fn);
+    }
+
     /// @name Workload statistics and validation results
     /// @{
     std::uint64_t txFramesPosted() const { return txPosted; }
@@ -121,7 +143,14 @@ class DeviceDriver
     std::uint64_t rxFramesDelivered() const { return rxDelivered.value(); }
     std::uint64_t rxPayloadBytes() const { return rxPayload.value(); }
     std::uint64_t rxIntegrityErrors() const { return rxBad.value(); }
+
+    /** Duplicate/regressed completions -- always a violation. */
     std::uint64_t rxOrderErrors() const { return rxOutOfOrder.value(); }
+
+    /** Forward sequence jumps: frames lost upstream (MAC overruns).
+     *  Informational, not an error -- receive drops are legitimate. */
+    std::uint64_t rxSeqGaps() const { return rxGaps.value(); }
+
     std::uint64_t recvBdsPosted() const { return rxBdsPosted; }
     /// @}
 
@@ -140,6 +169,7 @@ class DeviceDriver
     std::uint64_t txConsumed = 0;
     bool backlogged = false;
     std::function<void(std::uint64_t)> sendDoorbell;
+    std::unordered_map<std::uint32_t, std::uint32_t> txFlowSeq;
 
     // RX state.
     Addr recvRing;
@@ -151,11 +181,13 @@ class DeviceDriver
     std::uint64_t rxBuffersReturned = 0;
     std::uint32_t rxExpectedSeq = 0;
     std::function<void(std::uint64_t)> recvDoorbell;
+    std::function<void(const std::uint8_t *, unsigned)> rxDeliver;
 
     stats::Counter rxDelivered;
     stats::Counter rxPayload;
     stats::Counter rxBad;
     stats::Counter rxOutOfOrder;
+    stats::Counter rxGaps;
 };
 
 } // namespace tengig

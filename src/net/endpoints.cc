@@ -70,9 +70,12 @@ FrameSink::deliver(const std::uint8_t *bytes, unsigned len)
         return;
     }
     // The transmit path never drops, so any deviation from the exact
-    // posting order is a violation.
-    if (seq != expected)
-        ++outOfOrder;
+    // posting order is a violation: a forward jump means frames went
+    // missing, a regression means a duplicate or reordered frame.
+    if (seq > expected)
+        ++gaps;
+    else if (seq < expected)
+        ++duplicates;
     expected = seq + 1;
 }
 

@@ -24,9 +24,32 @@
 namespace tengig {
 
 /**
+ * Anything that offers a paced stream of frames to the NIC's receive
+ * MAC: the fixed-size FrameSource below, the multi-flow TrafficEngine,
+ * or a TraceReplayer (src/traffic).
+ */
+class FrameGenerator
+{
+  public:
+    virtual ~FrameGenerator() = default;
+
+    /** Begin generating frames at @p start_tick. */
+    virtual void start(Tick start_tick = 0) = 0;
+
+    /** Stop after the frame currently scheduled. */
+    virtual void stop() = 0;
+
+    /** Stop automatically after @p n frames have been offered. */
+    virtual void setFrameLimit(std::uint64_t n) = 0;
+
+    virtual std::uint64_t framesOffered() const = 0;
+    virtual std::uint64_t framesDropped() const = 0;
+};
+
+/**
  * Generates a stream of UDP frames toward the NIC with wire pacing.
  */
-class FrameSource
+class FrameSource : public FrameGenerator
 {
   public:
     /**
@@ -38,17 +61,12 @@ class FrameSource
     FrameSource(EventQueue &eq, unsigned payload_bytes, double rate,
                 std::function<bool(FrameData &&)> sink);
 
-    /** Begin generating frames at @p start_tick. */
-    void start(Tick start_tick = 0);
+    void start(Tick start_tick = 0) override;
+    void stop() override { running = false; }
+    void setFrameLimit(std::uint64_t n) override { limit = n; }
 
-    /** Stop after the frame currently scheduled. */
-    void stop() { running = false; }
-
-    /** Stop automatically after @p n frames have been offered. */
-    void setFrameLimit(std::uint64_t n) { limit = n; }
-
-    std::uint64_t framesOffered() const { return offered.value(); }
-    std::uint64_t framesDropped() const { return dropped.value(); }
+    std::uint64_t framesOffered() const override { return offered.value(); }
+    std::uint64_t framesDropped() const override { return dropped.value(); }
 
   private:
     void generateNext();
@@ -82,7 +100,20 @@ class FrameSink
     std::uint64_t framesReceived() const { return frames.value(); }
     std::uint64_t payloadBytesReceived() const { return payload.value(); }
     std::uint64_t integrityErrors() const { return badPayload.value(); }
-    std::uint64_t orderErrors() const { return outOfOrder.value(); }
+
+    /** Sequence jumped forward: at least one frame went missing. */
+    std::uint64_t gapErrors() const { return gaps.value(); }
+
+    /** Sequence regressed: a duplicate or reordered frame. */
+    std::uint64_t duplicateErrors() const { return duplicates.value(); }
+
+    /** All sequencing violations (gaps + duplicates). */
+    std::uint64_t
+    orderErrors() const
+    {
+        return gaps.value() + duplicates.value();
+    }
+
     std::uint32_t nextExpectedSeq() const { return expected; }
 
   private:
@@ -90,7 +121,8 @@ class FrameSink
     stats::Counter frames;
     stats::Counter payload;
     stats::Counter badPayload;
-    stats::Counter outOfOrder;
+    stats::Counter gaps;
+    stats::Counter duplicates;
 };
 
 } // namespace tengig

@@ -25,35 +25,55 @@ constexpr unsigned headerWords = 4; // seq, len, hash, pad
 } // namespace
 
 void
-fillPayload(std::uint8_t *payload, unsigned len, std::uint32_t seq)
+fillPayload(std::uint8_t *payload, unsigned len, std::uint32_t seq,
+            std::uint32_t flow)
 {
     panic_if(len < headerWords * 4,
              "payload too small for integrity header: ", len);
+    panic_if(flow > maxFlowId, "flow id out of range: ", flow);
     unsigned pattern_len = len - headerWords * 4;
     std::uint8_t *pattern = payload + headerWords * 4;
-    // Deterministic pattern derived from the sequence number.
-    std::uint32_t x = seq * 2654435761u + 12345u;
+    // Deterministic pattern derived from the flow and sequence number.
+    std::uint32_t x = (seq + flow * 40503u) * 2654435761u + 12345u;
     for (unsigned i = 0; i < pattern_len; ++i) {
         x = x * 1664525u + 1013904223u;
         pattern[i] = static_cast<std::uint8_t>(x >> 24);
     }
     std::uint32_t hash = patternHash(pattern, pattern_len);
-    std::uint32_t words[headerWords] = {seq, len, hash, 0xfeedc0deu};
+    std::uint32_t words[headerWords] = {seq, len, hash,
+                                        payloadMagicBase | flow};
     std::memcpy(payload, words, sizeof(words));
 }
 
+void
+fillPayload(std::uint8_t *payload, unsigned len, std::uint32_t seq)
+{
+    fillPayload(payload, len, seq, 0);
+}
+
 bool
-checkPayload(const std::uint8_t *payload, unsigned len, std::uint32_t &seq)
+checkPayload(const std::uint8_t *payload, unsigned len, std::uint32_t &seq,
+             std::uint32_t &flow)
 {
     if (len < headerWords * 4)
         return false;
     std::uint32_t words[headerWords];
     std::memcpy(words, payload, sizeof(words));
     seq = words[0];
-    if (words[1] != len || words[3] != 0xfeedc0deu)
+    if (words[1] != len ||
+        (words[3] & ~maxFlowId) != payloadMagicBase) {
         return false;
+    }
+    flow = words[3] & maxFlowId;
     unsigned pattern_len = len - headerWords * 4;
     return patternHash(payload + headerWords * 4, pattern_len) == words[2];
+}
+
+bool
+checkPayload(const std::uint8_t *payload, unsigned len, std::uint32_t &seq)
+{
+    std::uint32_t flow = 0;
+    return checkPayload(payload, len, seq, flow) && flow == 0;
 }
 
 } // namespace tengig

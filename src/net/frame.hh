@@ -87,9 +87,11 @@ lineRateUdpGbps(unsigned payload_bytes)
 
 /**
  * A frame as it exists in the simulation: real bytes.  The first 16
- * payload bytes carry a sequence number, the payload length, and a
- * checksum over the rest, letting every consumer validate integrity
- * and ordering after the full host-memory -> SDRAM -> wire journey.
+ * payload bytes carry a sequence number, the payload length, a
+ * checksum over the rest, and a magic word tagged with a 16-bit flow
+ * id, letting every consumer validate integrity and *per-flow*
+ * ordering after the full host-memory -> SDRAM -> wire journey.
+ * Single-stream workloads are simply flow 0.
  */
 struct FrameData
 {
@@ -104,17 +106,37 @@ struct FrameData
     }
 };
 
-/** Fill a payload buffer with seq + len + checksum + pattern. */
+/** Magic tag in the 4th integrity word; low 16 bits carry the flow. */
+constexpr std::uint32_t payloadMagicBase = 0xfeed0000u;
+
+/** Largest flow id the integrity header can carry. */
+constexpr std::uint32_t maxFlowId = 0xffffu;
+
+/** Fill a payload buffer with seq + len + checksum + pattern (flow 0). */
 void fillPayload(std::uint8_t *payload, unsigned len, std::uint32_t seq);
 
+/** Fill a payload buffer for one flow's sequence space. */
+void fillPayload(std::uint8_t *payload, unsigned len, std::uint32_t seq,
+                 std::uint32_t flow);
+
 /**
- * Validate a payload produced by fillPayload.
+ * Validate a payload produced by fillPayload, requiring flow 0.
  *
  * @param[out] seq The embedded sequence number.
  * @retval true if length and checksum match.
  */
 bool checkPayload(const std::uint8_t *payload, unsigned len,
                   std::uint32_t &seq);
+
+/**
+ * Validate a payload from any flow.
+ *
+ * @param[out] seq The embedded per-flow sequence number.
+ * @param[out] flow The embedded flow id.
+ * @retval true if length and checksum match.
+ */
+bool checkPayload(const std::uint8_t *payload, unsigned len,
+                  std::uint32_t &seq, std::uint32_t &flow);
 
 } // namespace tengig
 

@@ -23,6 +23,9 @@
 #include "net/endpoints.hh"
 #include "nic/nic_config.hh"
 #include "proc/core.hh"
+#include "traffic/flow_sink.hh"
+#include "traffic/trace.hh"
+#include "traffic/traffic_engine.hh"
 
 namespace tengig {
 
@@ -39,6 +42,14 @@ struct NicResults
     std::uint64_t rxFrames = 0;
     std::uint64_t rxDropped = 0;
     std::uint64_t errors = 0;    //!< ordering + integrity violations
+
+    /// @name Validation detail (the components behind `errors`)
+    /// @{
+    std::uint64_t integrityErrors = 0;  //!< corrupt/truncated payloads
+    std::uint64_t orderGaps = 0;        //!< missing-sequence events
+    std::uint64_t orderDuplicates = 0;  //!< duplicated/regressed frames
+    std::uint64_t flowsValidated = 0;   //!< distinct flows seen (0 = single-stream run)
+    /// @}
 
     double aggregateIpc = 0.0;
     CoreStats coreTotals;        //!< summed over cores
@@ -91,6 +102,14 @@ class NicController
      */
     void report(stats::Report &r) const;
 
+    /**
+     * Replace the receive-direction generator with a recorded trace
+     * (replayed from tick 0 of the run).  Call before run().  Pair it
+     * with an rxTraffic-enabled config so the per-flow validator
+     * handles the trace's flow-tagged frames.
+     */
+    void useRxTrace(std::istream &in);
+
     /// @name Component access for tests and benches
     /// @{
     EventQueue &eventQueue() { return eq; }
@@ -100,6 +119,18 @@ class NicController
     Scratchpad &scratchpad() { return *spad; }
     GddrSdram &sdram() { return *ram; }
     const NicConfig &config() const { return cfg; }
+
+    /** Per-flow wire-side transmit validator (txTraffic runs). */
+    FlowSink &txFlowSink() { return txFlow; }
+
+    /** Per-flow host-side receive validator (rxTraffic runs). */
+    FlowSink &rxFlowSink() { return rxFlow; }
+
+    /** The rx generator: attach a TraceRecorder before run().
+     *  Null unless rxTraffic is enabled. */
+    TrafficEngine *rxTrafficEngine() { return rxEngine; }
+
+    FrameGenerator &frameGenerator() { return *source; }
     /// @}
 
   private:
@@ -110,6 +141,13 @@ class NicController
                        std::uint64_t tx0_payload, std::uint64_t rx0_frames,
                        std::uint64_t rx0_payload);
     void resetAllStats();
+
+    /// @name Mode-independent delivery counters (legacy vs per-flow)
+    /// @{
+    std::uint64_t txFramesNow() const;
+    std::uint64_t txPayloadNow() const;
+    std::uint64_t rxPayloadNow() const;
+    /// @}
 
     NicConfig cfg;
     EventQueue eq;
@@ -124,7 +162,11 @@ class NicController
 
     std::unique_ptr<DeviceDriver> driver;
     FrameSink sink;
-    std::unique_ptr<FrameSource> source;
+    FlowSink txFlow{/*lossless=*/true};
+    FlowSink rxFlow{/*lossless=*/false};
+    std::unique_ptr<FrameGenerator> source;
+    TrafficEngine *rxEngine = nullptr; //!< source, when rxTraffic is on
+    std::unique_ptr<TxSchedule> txSched;
 
     std::unique_ptr<DmaAssist> dmaRead;
     std::unique_ptr<DmaAssist> dmaWrite;

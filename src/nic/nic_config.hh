@@ -8,6 +8,7 @@
 
 #include "firmware/fw_state.hh"
 #include "net/frame.hh"
+#include "traffic/traffic_profile.hh"
 
 namespace tengig {
 
@@ -41,6 +42,17 @@ struct NicConfig
     double rxOfferedRate = 1.0;     //!< fraction of line rate
     unsigned sendRingFrames = 1024;
     unsigned recvPoolBuffers = 1024;
+
+    /**
+     * Multi-flow workloads (src/traffic).  When a profile is enabled
+     * it replaces the fixed-size knob for its direction: rxTraffic
+     * drives the receive MAC through a TrafficEngine instead of the
+     * single-flow FrameSource, txTraffic makes the host driver post
+     * mixed-size flow-tagged send frames from a TxSchedule, and the
+     * corresponding validator becomes a per-flow FlowSink.
+     */
+    TrafficProfile rxTraffic;
+    TrafficProfile txTraffic;
     /// @}
 };
 

@@ -1,0 +1,134 @@
+#include "flow.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tengig {
+
+namespace {
+
+/** Mix a flow id and purpose tag into the engine seed. */
+std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint32_t flow, std::uint64_t tag)
+{
+    std::uint64_t s = seed ^ (static_cast<std::uint64_t>(flow) << 32) ^
+                      tag;
+    return splitmix64(s);
+}
+
+Tick
+atLeastOneTick(double t)
+{
+    return t < 1.0 ? 1 : static_cast<Tick>(t + 0.5);
+}
+
+} // namespace
+
+SizeSampler::SizeSampler(const SizeModel &model_, std::uint64_t seed)
+    : model(model_), rng(seed)
+{
+    if (model.kind == SizeModel::Kind::Empirical) {
+        double acc = 0;
+        for (const SizeModel::Point &p : model.mix) {
+            acc += p.weight;
+            cumWeight.push_back(acc);
+        }
+    }
+}
+
+unsigned
+SizeSampler::sample()
+{
+    switch (model.kind) {
+      case SizeModel::Kind::Fixed:
+        return model.fixedBytes;
+      case SizeModel::Kind::Bimodal:
+        return rng.chance(model.smallFraction) ? model.smallBytes
+                                               : model.largeBytes;
+      case SizeModel::Kind::Empirical: {
+        double u = rng.uniform() * cumWeight.back();
+        auto it = std::upper_bound(cumWeight.begin(), cumWeight.end(), u);
+        std::size_t i = static_cast<std::size_t>(it - cumWeight.begin());
+        if (i >= model.mix.size())
+            i = model.mix.size() - 1;
+        return model.mix[i].payloadBytes;
+      }
+    }
+    return model.fixedBytes;
+}
+
+FrameData
+makeFlowFrame(std::uint32_t flow, std::uint32_t seq,
+              unsigned payload_bytes)
+{
+    unsigned frame = frameBytesForPayload(payload_bytes);
+    FrameData fd;
+    fd.bytes.resize(frame - ethCrcBytes);
+    // Header region: deterministic filler standing in for the Ethernet/
+    // IP/UDP headers of this flow's datagram.
+    for (unsigned i = 0; i < txHeaderBytes; ++i)
+        fd.bytes[i] =
+            static_cast<std::uint8_t>(0x40 + (i * 7 + seq + flow * 13));
+    fillPayload(fd.bytes.data() + txHeaderBytes,
+                static_cast<unsigned>(fd.bytes.size()) - txHeaderBytes,
+                seq, flow);
+    return fd;
+}
+
+Flow::Flow(std::uint32_t id_, const FlowSpec &spec, double mean_gap_ticks,
+           std::uint64_t seed, unsigned index_, unsigned n_flows)
+    : flowId(id_), arrival(spec.arrival), meanGap(mean_gap_ticks),
+      peakGap(mean_gap_ticks * spec.arrival.burstDuty), index(index_),
+      nFlows(n_flows ? n_flows : 1),
+      sizes(spec.size, deriveSeed(seed, id_, 0x512e5)),
+      rng(deriveSeed(seed, id_, 0xa5517a1))
+{
+}
+
+Tick
+Flow::firstGap()
+{
+    switch (arrival.kind) {
+      case ArrivalModel::Kind::Paced:
+        // Stagger paced flows evenly across one mean gap so they do
+        // not all collide on the link at the same instant.
+        return atLeastOneTick(meanGap * (index + 1) / nFlows);
+      case ArrivalModel::Kind::Poisson:
+        return nextGap();
+      case ArrivalModel::Kind::OnOff:
+        // Random phase within one average on/off cycle.
+        return atLeastOneTick(rng.uniform() * meanGap *
+                              arrival.meanBurstFrames);
+    }
+    return 1;
+}
+
+Tick
+Flow::nextGap()
+{
+    switch (arrival.kind) {
+      case ArrivalModel::Kind::Paced:
+        return atLeastOneTick(meanGap);
+      case ArrivalModel::Kind::Poisson:
+        return atLeastOneTick(-meanGap *
+                              std::log1p(-rng.uniform()));
+      case ArrivalModel::Kind::OnOff: {
+        if (burstRemaining > 0) {
+            --burstRemaining;
+            return atLeastOneTick(peakGap);
+        }
+        // Start the next burst after an off period sized so the
+        // long-run rate stays 1/meanGap: a burst of n frames spans
+        // (n-1) peak gaps, so the full cycle must span n mean gaps.
+        double u = rng.uniform();
+        auto n = static_cast<std::uint64_t>(
+            std::max(1.0, -arrival.meanBurstFrames * std::log1p(-u)));
+        burstRemaining = n - 1;
+        double off = n * (meanGap - peakGap) + peakGap;
+        return atLeastOneTick(off);
+      }
+    }
+    return 1;
+}
+
+} // namespace tengig

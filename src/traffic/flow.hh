@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-flow runtime state for the traffic engine: deterministic size
+ * sampling, arrival-process sampling, the flow's transmit sequence
+ * space, and per-flow offered/dropped statistics.
+ */
+
+#ifndef TENGIG_TRAFFIC_FLOW_HH
+#define TENGIG_TRAFFIC_FLOW_HH
+
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "traffic/traffic_profile.hh"
+
+namespace tengig {
+
+/** Draws payload sizes from a SizeModel with its own RNG stream. */
+class SizeSampler
+{
+  public:
+    SizeSampler(const SizeModel &model, std::uint64_t seed);
+
+    unsigned sample();
+
+  private:
+    SizeModel model;
+    Rng rng;
+    std::vector<double> cumWeight; //!< empirical mix CDF
+};
+
+/** Build one flow-tagged frame (headers + integrity payload). */
+FrameData makeFlowFrame(std::uint32_t flow, std::uint32_t seq,
+                        unsigned payload_bytes);
+
+/**
+ * One flow inside a TrafficEngine.
+ */
+class Flow
+{
+  public:
+    /**
+     * @param id Flow id embedded in every frame's integrity header.
+     * @param spec Size/arrival models and weight.
+     * @param mean_gap_ticks Long-run mean inter-departure time.
+     * @param seed Engine seed; each flow derives its own streams.
+     * @param index,n_flows Position info used to stagger paced flows.
+     */
+    Flow(std::uint32_t id, const FlowSpec &spec, double mean_gap_ticks,
+         std::uint64_t seed, unsigned index, unsigned n_flows);
+
+    std::uint32_t id() const { return flowId; }
+
+    unsigned samplePayload() { return sizes.sample(); }
+
+    /** Ticks until this flow's first departure. */
+    Tick firstGap();
+
+    /** Ticks from one departure to the next. */
+    Tick nextGap();
+
+    /// @name Transmit-side sequence space and statistics
+    /// @{
+    std::uint32_t seq = 0;
+    stats::Counter framesOffered;
+    stats::Counter payloadBytesOffered;
+    stats::Counter framesDropped;
+    /// @}
+
+  private:
+    std::uint32_t flowId;
+    ArrivalModel arrival;
+    double meanGap;
+    double peakGap;                //!< on/off in-burst spacing
+    std::uint64_t burstRemaining = 0;
+    unsigned index;
+    unsigned nFlows;
+    SizeSampler sizes;
+    Rng rng;                       //!< arrival randomness
+};
+
+} // namespace tengig
+
+#endif // TENGIG_TRAFFIC_FLOW_HH

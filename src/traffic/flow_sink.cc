@@ -1,0 +1,42 @@
+#include "flow_sink.hh"
+
+namespace tengig {
+
+void
+FlowSink::deliver(const std::uint8_t *bytes, unsigned len)
+{
+    ++frames;
+    if (len <= txHeaderBytes) {
+        ++badPayload;
+        return;
+    }
+    unsigned plen = len - txHeaderBytes;
+    std::uint32_t seq = 0, flow_id = 0;
+    if (!checkPayload(bytes + txHeaderBytes, plen, seq, flow_id)) {
+        ++badPayload;
+        return;
+    }
+    payload += plen;
+    sizeHist.sample(plen);
+
+    PerFlow &pf = perFlow[flow_id];
+    ++pf.frames;
+    pf.payloadBytes += plen;
+    if (seq > pf.expected) {
+        ++pf.gaps;
+        ++gaps;
+    } else if (seq < pf.expected) {
+        ++pf.duplicates;
+        ++duplicates;
+    }
+    pf.expected = seq + 1;
+}
+
+const FlowSink::PerFlow *
+FlowSink::flow(std::uint32_t flow_id) const
+{
+    auto it = perFlow.find(flow_id);
+    return it == perFlow.end() ? nullptr : &it->second;
+}
+
+} // namespace tengig

@@ -1,0 +1,127 @@
+#include "traffic_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tengig {
+
+TrafficEngine::TrafficEngine(EventQueue &eq_,
+                             const TrafficProfile &profile,
+                             std::function<bool(FrameData &&)> sink_)
+    : eq(eq_), sink(std::move(sink_))
+{
+    profile.validate();
+
+    // Aggregate frame rate: flows split the frame count by weight, and
+    // the weighted mean wire time per frame converts the offered rate
+    // (a fraction of link time) into frames per tick.
+    double total_w = 0;
+    for (const FlowSpec &f : profile.flows)
+        total_w += f.weight;
+    double mean_wire = 0;
+    for (const FlowSpec &f : profile.flows)
+        mean_wire += f.weight / total_w * f.size.meanWireTicks();
+    double frames_per_tick = profile.offeredRate / mean_wire;
+
+    for (std::size_t i = 0; i < profile.flows.size(); ++i) {
+        const FlowSpec &f = profile.flows[i];
+        if (f.weight == 0.0)
+            continue; // a zero-weight flow never sends
+        double mean_gap = total_w / (frames_per_tick * f.weight);
+        flows.push_back(std::make_unique<Flow>(
+            static_cast<std::uint32_t>(i), f, mean_gap, profile.seed,
+            static_cast<unsigned>(i),
+            static_cast<unsigned>(profile.flows.size())));
+    }
+}
+
+void
+TrafficEngine::start(Tick start_tick)
+{
+    running = true;
+    Tick base = std::max(start_tick, eq.curTick());
+    linkFreeAt = std::max(linkFreeAt, base);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        eq.schedule(base + flows[i]->firstGap(),
+                    [this, i] { emit(i); },
+                    EventPriority::HardwareProgress);
+    }
+}
+
+void
+TrafficEngine::emit(std::size_t idx)
+{
+    if (!running)
+        return;
+    if (limit && offered.value() >= limit) {
+        running = false;
+        return;
+    }
+
+    // Serialize onto the link: a frame whose departure time lands
+    // inside another flow's wire occupancy waits for the link.
+    Tick now = eq.curTick();
+    if (now < linkFreeAt) {
+        eq.schedule(linkFreeAt, [this, idx] { emit(idx); },
+                    EventPriority::HardwareProgress);
+        return;
+    }
+
+    Flow &f = *flows[idx];
+    unsigned bytes = f.samplePayload();
+    FrameData fd = makeFlowFrame(f.id(), f.seq, bytes);
+    linkFreeAt = now + wireTimeForFrame(fd.frameBytes());
+
+    if (recorder)
+        recorder->record(now, f.id(), f.seq, bytes);
+    ++offered;
+    ++f.framesOffered;
+    payload += bytes;
+    f.payloadBytesOffered += bytes;
+    sizeHist.sample(bytes);
+    ++f.seq;
+
+    if (!sink(std::move(fd))) {
+        ++dropped;
+        ++f.framesDropped;
+    }
+
+    // The next arrival paces from this departure, so each flow keeps
+    // exactly one event in flight and its offered rate is an upper
+    // bound that link contention can push down (queueing, not
+    // accumulation).
+    eq.scheduleIn(f.nextGap(), [this, idx] { emit(idx); },
+                  EventPriority::HardwareProgress);
+}
+
+TxSchedule::TxSchedule(const TrafficProfile &profile)
+    : pick(profile.seed ^ 0x7c5edu)
+{
+    profile.validate();
+    double acc = 0;
+    for (std::size_t i = 0; i < profile.flows.size(); ++i) {
+        const FlowSpec &f = profile.flows[i];
+        acc += f.weight;
+        cumShare.push_back(acc);
+        std::uint64_t s = profile.seed + 0x9e3779b97f4a7c15ULL * (i + 1);
+        sizes.emplace_back(f.size, splitmix64(s));
+    }
+}
+
+std::pair<std::uint32_t, unsigned>
+TxSchedule::frameSpec(std::uint64_t index)
+{
+    panic_if(index != nextIndex,
+             "tx schedule consumed out of order: expected ", nextIndex,
+             ", got ", index);
+    ++nextIndex;
+    double u = pick.uniform() * cumShare.back();
+    auto it = std::upper_bound(cumShare.begin(), cumShare.end(), u);
+    std::size_t i = static_cast<std::size_t>(it - cumShare.begin());
+    if (i >= sizes.size())
+        i = sizes.size() - 1;
+    return {static_cast<std::uint32_t>(i), sizes[i].sample()};
+}
+
+} // namespace tengig

@@ -109,6 +109,32 @@ TEST(FrameSink, FlagsOutOfOrder)
     EXPECT_GE(sink.orderErrors(), 1u);
 }
 
+TEST(FrameSink, SplitsGapsFromDuplicates)
+{
+    // 0, 3 (frames 1-2 missing: one gap event), then 1 (a regression).
+    FrameSink sink;
+    for (std::uint32_t s : {0u, 3u, 1u}) {
+        std::vector<std::uint8_t> bytes(42 + 100);
+        fillPayload(bytes.data() + 42, 100, s);
+        sink.deliver(bytes.data(), static_cast<unsigned>(bytes.size()));
+    }
+    EXPECT_EQ(sink.gapErrors(), 1u);
+    EXPECT_EQ(sink.duplicateErrors(), 1u);
+    EXPECT_EQ(sink.orderErrors(), 2u);
+}
+
+TEST(FrameSink, ExactDuplicateCountsOnlyAsDuplicate)
+{
+    FrameSink sink;
+    for (std::uint32_t s : {0u, 1u, 1u, 2u}) {
+        std::vector<std::uint8_t> bytes(42 + 100);
+        fillPayload(bytes.data() + 42, 100, s);
+        sink.deliver(bytes.data(), static_cast<unsigned>(bytes.size()));
+    }
+    EXPECT_EQ(sink.gapErrors(), 0u);
+    EXPECT_EQ(sink.duplicateErrors(), 1u);
+}
+
 TEST(FrameSink, FlagsCorruptPayload)
 {
     FrameSink sink;
