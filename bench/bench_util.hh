@@ -10,6 +10,7 @@
 #include <string>
 
 #include "nic/controller.hh"
+#include "obs/bench_json.hh"
 
 namespace tengig {
 namespace bench {
@@ -57,6 +58,55 @@ inline void
 printHeader(const char *title)
 {
     std::printf("\n=== %s ===\n", title);
+}
+
+/**
+ * The standard metrics object for one NIC run, shared by every bench
+ * that emits BENCH_*.json: duplex throughput, frame counts, the error
+ * breakdown, per-core IPC, the receive latency percentile summary,
+ * and memory-system bandwidths.  Keys are inserted in a fixed order
+ * so reports diff cleanly run over run (tengig-bench-v1).
+ */
+inline obs::json::Value
+nicRunMetrics(const NicResults &r)
+{
+    using obs::json::Value;
+    Value m = Value::object();
+    m.set("totalUdpGbps", r.totalUdpGbps);
+    m.set("txUdpGbps", r.txUdpGbps);
+    m.set("rxUdpGbps", r.rxUdpGbps);
+    m.set("txFps", r.txFps);
+    m.set("rxFps", r.rxFps);
+    m.set("txFrames", r.txFrames);
+    m.set("rxFrames", r.rxFrames);
+    m.set("rxDropped", r.rxDropped);
+
+    Value errors = Value::object();
+    errors.set("total", r.errors);
+    errors.set("integrity", r.integrityErrors);
+    errors.set("orderGaps", r.orderGaps);
+    errors.set("orderDuplicates", r.orderDuplicates);
+    m.set("errors", std::move(errors));
+
+    m.set("aggregateIpc", r.aggregateIpc);
+    Value per_core = Value::array();
+    for (double ipc : r.coreIpc)
+        per_core.push(ipc);
+    m.set("perCoreIpc", std::move(per_core));
+
+    Value lat = Value::object();
+    lat.set("count", r.rxLatency.count);
+    lat.set("meanUs", r.rxLatency.meanUs);
+    lat.set("p50Us", r.rxLatency.p50Us);
+    lat.set("p95Us", r.rxLatency.p95Us);
+    lat.set("p99Us", r.rxLatency.p99Us);
+    lat.set("maxUs", r.rxLatency.maxUs);
+    m.set("rxLatency", std::move(lat));
+
+    m.set("spadGbps", r.spadGbps);
+    m.set("sdramGbps", r.sdramGbps);
+    m.set("imemGbps", r.imemGbps);
+    return m;
 }
 
 } // namespace bench

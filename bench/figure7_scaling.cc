@@ -8,9 +8,17 @@
  * frequency; 4 cores get close; 6 and 8 cores reach (within a few
  * percent of) the 19.14 Gb/s duplex Ethernet limit by 175-200 MHz,
  * while a single core would need ~800 MHz.
+ *
+ * With --json[=path] the full sweep is also written as a
+ * tengig-bench-v1 document (one row per cores x MHz point, metrics
+ * from bench::nicRunMetrics), default BENCH_figure7_scaling.json.
+ * --quick shrinks the sweep and the measurement window for smoke
+ * tests.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hh"
 
@@ -19,46 +27,75 @@ using namespace tengig::bench;
 
 namespace {
 
-double
-throughput(unsigned cores, double mhz)
+NicResults
+measure(unsigned cores, double mhz, Tick warmup, Tick measure_ticks)
 {
     NicConfig cfg;
     cfg.cores = cores;
     cfg.cpuMhz = mhz;
     NicController nic(cfg);
-    return nic.run(warmupTicks, measureTicks).totalUdpGbps;
+    return nic.run(warmup, measure_ticks);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printHeader("Figure 7: scaling core frequency and processor count "
                 "(duplex UDP Gb/s)");
 
-    const double freqs[] = {100, 125, 150, 166, 175, 200};
-    const unsigned core_counts[] = {1, 2, 4, 6, 8};
+    bool quick = obs::hasFlag(argc, argv, "--quick");
+    Tick warmup = quick ? tickPerMs / 4 : warmupTicks;
+    Tick window = quick ? tickPerMs / 2 : measureTicks;
+
+    std::vector<double> freqs = quick
+        ? std::vector<double>{166, 200}
+        : std::vector<double>{100, 125, 150, 166, 175, 200};
+    std::vector<unsigned> core_counts =
+        quick ? std::vector<unsigned>{2, 6}
+              : std::vector<unsigned>{1, 2, 4, 6, 8};
     const double limit = 2 * lineRateUdpGbps(udpMaxPayloadBytes);
+
+    obs::BenchReport report("figure7_scaling");
 
     std::printf("%-10s", "MHz");
     for (unsigned c : core_counts)
         std::printf(" %6u-core", c);
-    std::printf("\n%.*s\n", 10 + 11 * 5,
+    std::printf("\n%.*s\n",
+                static_cast<int>(10 + 11 * core_counts.size()),
                 "-------------------------------------------------------"
                 "-----------");
     for (double f : freqs) {
         std::printf("%-10.0f", f);
-        for (unsigned c : core_counts)
-            std::printf(" %11.2f", throughput(c, f));
+        for (unsigned c : core_counts) {
+            NicResults r = measure(c, f, warmup, window);
+            std::printf(" %11.2f", r.totalUdpGbps);
+            obs::json::Value cfg = obs::json::Value::object();
+            cfg.set("cores", c);
+            cfg.set("cpuMhz", f);
+            report.addRow(std::to_string(c) + " cores @ " +
+                              std::to_string(static_cast<int>(f)) +
+                              " MHz",
+                          std::move(cfg), nicRunMetrics(r));
+        }
         std::printf("\n");
     }
     std::printf("%-10s %11.2f  <- Ethernet limit (duplex)\n", "", limit);
 
-    // The paper's single-core anchor: line rate needs ~800 MHz.
-    std::printf("\nSingle core at high frequency: 400 MHz -> %.2f, "
-                "600 MHz -> %.2f, 800 MHz -> %.2f Gb/s\n",
-                throughput(1, 400), throughput(1, 600),
-                throughput(1, 800));
+    if (!quick) {
+        // The paper's single-core anchor: line rate needs ~800 MHz.
+        std::printf("\nSingle core at high frequency: 400 MHz -> %.2f, "
+                    "600 MHz -> %.2f, 800 MHz -> %.2f Gb/s\n",
+                    measure(1, 400, warmup, window).totalUdpGbps,
+                    measure(1, 600, warmup, window).totalUdpGbps,
+                    measure(1, 800, warmup, window).totalUdpGbps);
+    }
+
+    if (auto path = obs::jsonPathFromArgs(argc, argv, "figure7_scaling")) {
+        report.write(*path);
+        std::printf("\nwrote %s (%zu rows)\n", path->c_str(),
+                    report.rows());
+    }
     return 0;
 }

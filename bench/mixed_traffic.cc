@@ -11,15 +11,36 @@
  * line rate.  Mixed traffic lowers the ceiling (more frames per byte
  * moved), which is exactly the per-frame-cost regime where the
  * paper's small-frame results live.
+ *
+ * With --json[=path] every workload row is also written as a
+ * tengig-bench-v1 document (metrics from bench::nicRunMetrics,
+ * including per-core IPC and the rx latency percentiles), default
+ * BENCH_mixed_traffic.json.  --quick shrinks the flow count and the
+ * measurement window so the ctest smoke test finishes fast.
  */
 
 #include <cstdio>
 
-#include "nic/controller.hh"
+#include "bench/bench_util.hh"
 
 using namespace tengig;
+using namespace tengig::bench;
 
 namespace {
+
+bool quick = false;
+
+Tick
+measureWindow()
+{
+    return quick ? tickPerMs / 2 : 3 * tickPerMs;
+}
+
+unsigned
+flowsPerDirection()
+{
+    return quick ? 8 : 64;
+}
 
 /** UDP goodput limit at line rate for a per-frame size model. */
 double
@@ -31,20 +52,8 @@ goodputLimitGbps(const SizeModel &size)
 }
 
 void
-run(const char *name, const SizeModel &size, const ArrivalModel &arrival)
+printRow(const char *name, const NicResults &r, double limit)
 {
-    NicConfig cfg;
-    cfg.cores = 6;
-    cfg.cpuMhz = 200.0;
-    cfg.txTraffic = TrafficProfile::uniform(64, size,
-                                            ArrivalModel::paced(), 1.0,
-                                            0xbe7c);
-    cfg.rxTraffic = TrafficProfile::uniform(64, size, arrival, 1.0,
-                                            0xbe7c);
-    NicController nic(cfg);
-    NicResults r = nic.run(tickPerMs, 3 * tickPerMs);
-
-    double limit = 2.0 * goodputLimitGbps(size);
     std::printf("%-22s | %7.2f | %8.2f | %5.1f%% | %9.0f | %6llu\n",
                 name, r.totalUdpGbps, limit,
                 100.0 * r.totalUdpGbps / limit, r.txFps + r.rxFps,
@@ -52,7 +61,40 @@ run(const char *name, const SizeModel &size, const ArrivalModel &arrival)
 }
 
 void
-runFixedBaseline(const char *name, unsigned payload)
+addRow(obs::BenchReport &report, const char *name, const NicResults &r,
+       double limit, const char *size_model, const char *arrival_model)
+{
+    obs::json::Value cfg = obs::json::Value::object();
+    cfg.set("sizeModel", size_model);
+    cfg.set("arrivalModel", arrival_model);
+    cfg.set("flowsPerDirection", flowsPerDirection());
+    cfg.set("duplexGoodputLimitGbps", limit);
+    report.addRow(name, std::move(cfg), nicRunMetrics(r));
+}
+
+void
+run(obs::BenchReport &report, const char *name, const SizeModel &size,
+    const ArrivalModel &arrival, const char *arrival_name)
+{
+    NicConfig cfg;
+    cfg.cores = 6;
+    cfg.cpuMhz = 200.0;
+    cfg.txTraffic = TrafficProfile::uniform(flowsPerDirection(), size,
+                                            ArrivalModel::paced(), 1.0,
+                                            0xbe7c);
+    cfg.rxTraffic = TrafficProfile::uniform(flowsPerDirection(), size,
+                                            arrival, 1.0, 0xbe7c);
+    NicController nic(cfg);
+    NicResults r = nic.run(tickPerMs, measureWindow());
+
+    double limit = 2.0 * goodputLimitGbps(size);
+    printRow(name, r, limit);
+    addRow(report, name, r, limit, "mix", arrival_name);
+}
+
+void
+runFixedBaseline(obs::BenchReport &report, const char *name,
+                 unsigned payload)
 {
     NicConfig cfg;
     cfg.cores = 6;
@@ -60,33 +102,45 @@ runFixedBaseline(const char *name, unsigned payload)
     cfg.txPayloadBytes = payload;
     cfg.rxPayloadBytes = payload;
     NicController nic(cfg);
-    NicResults r = nic.run(tickPerMs, 3 * tickPerMs);
+    NicResults r = nic.run(tickPerMs, measureWindow());
 
     double limit = 2.0 * lineRateUdpGbps(payload);
-    std::printf("%-22s | %7.2f | %8.2f | %5.1f%% | %9.0f | %6llu\n",
-                name, r.totalUdpGbps, limit,
-                100.0 * r.totalUdpGbps / limit, r.txFps + r.rxFps,
-                static_cast<unsigned long long>(r.errors));
+    printRow(name, r, limit);
+    addRow(report, name, r, limit, "fixed", "paced");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    quick = obs::hasFlag(argc, argv, "--quick");
+
     std::printf("Duplex goodput under mixed frame sizes "
-                "(64 flows/direction, 6 cores @ 200 MHz):\n\n");
+                "(%u flows/direction, 6 cores @ 200 MHz):\n\n",
+                flowsPerDirection());
     std::printf("%-22s | %7s | %8s | %6s | %9s | %6s\n", "workload",
                 "Gb/s", "limit", "of max", "frames/s", "errors");
 
-    runFixedBaseline("fixed 1472 (paper)", 1472);
-    runFixedBaseline("fixed 594-wire", 594 - framingOverheadBytes);
-    run("bimodal 90/1472", SizeModel::bimodal(90, 1472, 0.5),
-        ArrivalModel::paced());
-    run("bimodal + poisson", SizeModel::bimodal(90, 1472, 0.5),
-        ArrivalModel::poisson());
-    run("imix + poisson", SizeModel::imix(), ArrivalModel::poisson());
-    run("imix + on/off bursts", SizeModel::imix(),
-        ArrivalModel::onOff(0.25, 32.0));
+    obs::BenchReport report("mixed_traffic");
+    runFixedBaseline(report, "fixed 1472 (paper)", 1472);
+    runFixedBaseline(report, "fixed 594-wire",
+                     594 - framingOverheadBytes);
+    run(report, "bimodal 90/1472", SizeModel::bimodal(90, 1472, 0.5),
+        ArrivalModel::paced(), "paced");
+    run(report, "bimodal + poisson", SizeModel::bimodal(90, 1472, 0.5),
+        ArrivalModel::poisson(), "poisson");
+    if (!quick) {
+        run(report, "imix + poisson", SizeModel::imix(),
+            ArrivalModel::poisson(), "poisson");
+        run(report, "imix + on/off bursts", SizeModel::imix(),
+            ArrivalModel::onOff(0.25, 32.0), "onOff");
+    }
+
+    if (auto path = obs::jsonPathFromArgs(argc, argv, "mixed_traffic")) {
+        report.write(*path);
+        std::printf("\nwrote %s (%zu rows)\n", path->c_str(),
+                    report.rows());
+    }
     return 0;
 }

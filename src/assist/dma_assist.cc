@@ -1,6 +1,25 @@
 #include "dma_assist.hh"
 
+#include "obs/stat_registry.hh"
+#include "obs/trace_log.hh"
+
 namespace tengig {
+
+namespace {
+
+const char *
+kindName(DmaCommand::Kind k)
+{
+    switch (k) {
+      case DmaCommand::Kind::HostToSdram: return "host->sdram";
+      case DmaCommand::Kind::HostToSpad: return "host->spad";
+      case DmaCommand::Kind::SdramToHost: return "sdram->host";
+      case DmaCommand::Kind::SpadToHost: return "spad->host";
+    }
+    return "?";
+}
+
+} // namespace
 
 DmaAssist::DmaAssist(EventQueue &eq, const ClockDomain &cpu_domain,
                      Scratchpad &spad_, GddrSdram &sdram_,
@@ -32,6 +51,7 @@ DmaAssist::startNext()
     busy = true;
     DmaCommand &cmd = queue.front();
     bytes += cmd.len;
+    cmdStart = curTick();
 
     switch (cmd.kind) {
       case DmaCommand::Kind::HostToSdram:
@@ -103,9 +123,26 @@ DmaAssist::finishCurrent()
     DmaCommand cmd = std::move(queue.front());
     queue.pop_front();
     ++completed;
+    if (obs::TraceLog *t = traceLog();
+        t && t->enabled() && traceLane != obs::noTraceLane) {
+        t->complete(traceLane,
+                    std::string(kindName(cmd.kind)) + " " +
+                        std::to_string(cmd.len) + "B",
+                    cmdStart, curTick() - cmdStart, "dma");
+    }
     if (cmd.done)
         cmd.done();
     startNext();
+}
+
+void
+DmaAssist::registerStats(obs::StatGroup &g) const
+{
+    g.add("commands", completed, "commands completed in FIFO order");
+    g.add("bytes", bytes, "payload bytes moved");
+    g.derived("depth",
+              [this] { return static_cast<double>(queue.size()); },
+              "commands currently queued");
 }
 
 } // namespace tengig

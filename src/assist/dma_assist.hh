@@ -30,6 +30,8 @@
 
 namespace tengig {
 
+namespace obs { class StatGroup; }
+
 /** One DMA command. */
 struct DmaCommand
 {
@@ -77,6 +79,12 @@ class DmaAssist : public Clocked
     std::uint64_t commandsCompleted() const { return completed.value(); }
     std::uint64_t bytesMoved() const { return bytes.value(); }
 
+    /** Register counters into the owner's stat tree (src/obs). */
+    void registerStats(obs::StatGroup &g) const;
+
+    /** Timeline row for per-command spans (src/obs trace recorder). */
+    void setTraceLane(unsigned lane) { traceLane = lane; }
+
   private:
     void startNext();
     void finishCurrent();
@@ -92,6 +100,8 @@ class DmaAssist : public Clocked
 
     std::deque<DmaCommand> queue;
     bool busy = false;
+    unsigned traceLane = 0xffffffffu; //!< obs::noTraceLane
+    Tick cmdStart = 0;                //!< start tick of the active command
 
     stats::Counter completed;
     stats::Counter bytes;

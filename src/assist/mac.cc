@@ -1,5 +1,8 @@
 #include "mac.hh"
 
+#include "obs/stat_registry.hh"
+#include "obs/trace_log.hh"
+
 namespace tengig {
 
 MacTx::MacTx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram_,
@@ -59,6 +62,12 @@ MacTx::enqueueWire(Command cmd)
     Tick end = start + wireTimeForFrame(frame);
     wireBusyUntil = end;
 
+    if (obs::TraceLog *t = traceLog();
+        t && t->enabled() && traceLane != obs::noTraceLane) {
+        t->complete(traceLane, "tx " + std::to_string(frame) + "B",
+                    start, end - start, "mac");
+    }
+
     eventQueue().schedule(end, [this, cmd = std::move(cmd),
                                 frame]() mutable {
         std::vector<std::uint8_t> bytes(cmd.lenBytes);
@@ -98,15 +107,42 @@ MacRx::frameArrived(FrameData &&fd)
     }
     ++storing;
     Addr addr = *slot;
+    Tick arrived = curTick();
     sdram.request(sdramRequester, addr, len, true,
-                  [this, addr, data = std::move(fd.bytes)]() {
+                  [this, addr, arrived, data = std::move(fd.bytes)]() {
                       sdram.writeBytes(addr, data.data(), data.size());
                       ++frames;
                       --storing;
+                      if (obs::TraceLog *t = traceLog();
+                          t && t->enabled() &&
+                          traceLane != obs::noTraceLane) {
+                          t->complete(traceLane,
+                                      "rx " +
+                                          std::to_string(data.size()) +
+                                          "B",
+                                      arrived, curTick() - arrived,
+                                      "mac");
+                      }
                       onStored(StoredFrame{
                           addr, static_cast<unsigned>(data.size())});
                   });
     return true;
+}
+
+void
+MacTx::registerStats(obs::StatGroup &g) const
+{
+    g.add("frames", frames, "frames serialized onto the wire");
+    g.add("frameBytes", frameBytes, "CRC-inclusive frame bytes");
+    g.add("wireBytes", wireBytes,
+          "on-wire bytes including preamble and IFG");
+}
+
+void
+MacRx::registerStats(obs::StatGroup &g) const
+{
+    g.add("frames", frames, "frames fully stored to SDRAM");
+    g.add("drops", drops, "arrivals shed at the MAC (buffer/ring full)");
 }
 
 } // namespace tengig

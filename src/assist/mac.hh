@@ -30,6 +30,8 @@
 
 namespace tengig {
 
+namespace obs { class StatGroup; }
+
 /**
  * Transmit MAC: SDRAM -> wire.
  */
@@ -74,6 +76,12 @@ class MacTx : public Clocked
                (static_cast<double>(now) / tickPerSec) / 1e9;
     }
 
+    /** Register counters into the owner's stat tree (src/obs). */
+    void registerStats(obs::StatGroup &g) const;
+
+    /** Timeline row for wire-occupancy spans (src/obs recorder). */
+    void setTraceLane(unsigned lane) { traceLane = lane; }
+
   private:
     void tryFetch();
     void enqueueWire(Command cmd);
@@ -87,6 +95,7 @@ class MacTx : public Clocked
     unsigned fetching = 0;       //!< frames being read from SDRAM
     static constexpr unsigned maxBuffered = 2;
     Tick wireBusyUntil = 0;
+    unsigned traceLane = 0xffffffffu; //!< obs::noTraceLane
 
     stats::Counter frames;
     stats::Counter frameBytes;
@@ -126,6 +135,12 @@ class MacRx : public Clocked
     std::uint64_t framesStored() const { return frames.value(); }
     std::uint64_t framesDropped() const { return drops.value(); }
 
+    /** Register counters into the owner's stat tree (src/obs). */
+    void registerStats(obs::StatGroup &g) const;
+
+    /** Timeline row for SDRAM store spans (src/obs recorder). */
+    void setTraceLane(unsigned lane) { traceLane = lane; }
+
   private:
     GddrSdram &sdram;
     unsigned sdramRequester;
@@ -134,6 +149,7 @@ class MacRx : public Clocked
 
     unsigned storing = 0; //!< frames being written to SDRAM
     static constexpr unsigned maxBuffered = 2;
+    unsigned traceLane = 0xffffffffu; //!< obs::noTraceLane
 
     stats::Counter frames;
     stats::Counter drops;

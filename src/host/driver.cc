@@ -168,6 +168,8 @@ void
 DeviceDriver::rxCompletion(Addr host_buf, std::uint32_t len)
 {
     ++rxDelivered;
+    if (rxObserver)
+        rxObserver(host.data(host_buf), len);
     if (rxDeliver) {
         // External (per-flow) validation owns the frame check.
         rxDeliver(host.data(host_buf), len);

@@ -136,6 +136,17 @@ class DeviceDriver
         rxDeliver = std::move(fn);
     }
 
+    /**
+     * Passive tap fired for every delivered receive frame, in addition
+     * to -- never instead of -- the validation path above.  Used by
+     * observability (latency bookkeeping).
+     */
+    void
+    onRxDelivered(std::function<void(const std::uint8_t *, unsigned)> fn)
+    {
+        rxObserver = std::move(fn);
+    }
+
     /// @name Workload statistics and validation results
     /// @{
     std::uint64_t txFramesPosted() const { return txPosted; }
@@ -182,6 +193,7 @@ class DeviceDriver
     std::uint32_t rxExpectedSeq = 0;
     std::function<void(std::uint64_t)> recvDoorbell;
     std::function<void(const std::uint8_t *, unsigned)> rxDeliver;
+    std::function<void(const std::uint8_t *, unsigned)> rxObserver;
 
     stats::Counter rxDelivered;
     stats::Counter rxPayload;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/stat_registry.hh"
+
 namespace tengig {
 
 namespace {
@@ -233,6 +235,27 @@ Scratchpad::report(stats::Report &r, const std::string &prefix) const
     for (std::size_t i = 0; i < banks.size(); ++i) {
         r.set(prefix + ".bank" + std::to_string(i) + ".accesses",
               static_cast<double>(banks[i].accesses.value()));
+    }
+}
+
+void
+Scratchpad::registerStats(obs::StatGroup &g) const
+{
+    g.derived("accesses",
+              [this] { return static_cast<double>(totalAccesses()); },
+              "crossbar transactions granted");
+    g.add("reads", reads);
+    g.add("writes", writes);
+    g.add("rmws", rmws, "atomic set/update/test-and-set operations");
+    g.derived("conflictCycles",
+              [this] {
+                  return static_cast<double>(totalConflictCycles());
+              },
+              "grant delay beyond the 2-cycle minimum");
+    for (std::size_t i = 0; i < banks.size(); ++i) {
+        obs::StatGroup &b = g.group("bank" + std::to_string(i));
+        b.add("accesses", banks[i].accesses);
+        b.add("conflictCycles", banks[i].conflictCycles);
     }
 }
 

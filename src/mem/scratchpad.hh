@@ -31,6 +31,8 @@
 
 namespace tengig {
 
+namespace obs { class StatGroup; }
+
 /** Operation kinds a scratchpad bank can execute. */
 enum class SpadOp
 {
@@ -121,6 +123,9 @@ class Scratchpad : public Clocked
     /** Consumed bandwidth in Gb/s over [0, now]. */
     double consumedBandwidthGbps(Tick now) const;
     void report(stats::Report &r, const std::string &prefix) const;
+
+    /** Register counters into the owner's stat tree (src/obs). */
+    void registerStats(obs::StatGroup &g) const;
     void resetStats();
     /// @}
 

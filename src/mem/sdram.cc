@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/stat_registry.hh"
+#include "obs/trace_log.hh"
+
 namespace tengig {
 
 GddrSdram::GddrSdram(EventQueue &eq, const ClockDomain &domain,
@@ -113,6 +116,14 @@ GddrSdram::arbitrate()
     useful += b.len;
     transferred += wire_bytes;
 
+    if (obs::TraceLog *t = traceLog();
+        t && t->enabled() && traceLane != obs::noTraceLane) {
+        t->complete(traceLane,
+                    std::string(b.isWrite ? "wr " : "rd ") +
+                        std::to_string(b.len) + "B",
+                    start, done - start, "sdram");
+    }
+
     eventQueue().schedule(done,
                           [this, cb = std::move(b.cb)] {
                               if (cb)
@@ -145,6 +156,17 @@ GddrSdram::report(stats::Report &r, const std::string &prefix) const
           static_cast<double>(transferred.value()));
     r.set(prefix + ".rowActivations",
           static_cast<double>(activations.value()));
+}
+
+void
+GddrSdram::registerStats(obs::StatGroup &g) const
+{
+    g.add("bursts", bursts, "granted bursts (run to completion)");
+    g.add("usefulBytes", useful, "payload bytes requested by bursts");
+    g.add("transferredBytes", transferred,
+          "wire-level bytes including word-alignment padding");
+    g.add("rowActivations", activations);
+    g.add("busyTicks", busyTicks, "ticks the shared bus was occupied");
 }
 
 void

@@ -34,6 +34,8 @@
 
 namespace tengig {
 
+namespace obs { class StatGroup; }
+
 /**
  * Combined internal-bus + GDDR SDRAM timing and storage model.
  */
@@ -78,6 +80,7 @@ class GddrSdram : public Clocked
     std::uint64_t transferredBytes() const { return transferred.value(); }
     std::uint64_t rowActivations() const { return activations.value(); }
     std::uint64_t burstCount() const { return bursts.value(); }
+    std::uint64_t busyTickCount() const { return busyTicks.value(); }
 
     /** Consumed (wire-level) bandwidth in Gb/s over [0, now]. */
     double
@@ -97,8 +100,14 @@ class GddrSdram : public Clocked
     }
 
     void report(stats::Report &r, const std::string &prefix) const;
+
+    /** Register counters into the owner's stat tree (src/obs). */
+    void registerStats(obs::StatGroup &g) const;
     void resetStats();
     /// @}
+
+    /** Timeline row for burst spans (src/obs trace recorder). */
+    void setTraceLane(unsigned lane) { traceLane = lane; }
 
   private:
     struct Burst
@@ -126,6 +135,7 @@ class GddrSdram : public Clocked
     bool busy = false;
     bool arbScheduled = false;
     Tick busUntil = 0;
+    unsigned traceLane = 0xffffffffu; //!< obs::noTraceLane
 
     stats::Counter useful;
     stats::Counter transferred;

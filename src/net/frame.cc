@@ -70,6 +70,21 @@ checkPayload(const std::uint8_t *payload, unsigned len, std::uint32_t &seq,
 }
 
 bool
+peekPayload(const std::uint8_t *payload, unsigned len, std::uint32_t &seq,
+            std::uint32_t &flow)
+{
+    if (len < headerWords * 4)
+        return false;
+    std::uint32_t words[headerWords];
+    std::memcpy(words, payload, sizeof(words));
+    if (words[1] != len || (words[3] & ~maxFlowId) != payloadMagicBase)
+        return false;
+    seq = words[0];
+    flow = words[3] & maxFlowId;
+    return true;
+}
+
+bool
 checkPayload(const std::uint8_t *payload, unsigned len, std::uint32_t &seq)
 {
     std::uint32_t flow = 0;

@@ -138,6 +138,14 @@ bool checkPayload(const std::uint8_t *payload, unsigned len,
 bool checkPayload(const std::uint8_t *payload, unsigned len,
                   std::uint32_t &seq, std::uint32_t &flow);
 
+/**
+ * Cheap header peek: extract seq + flow and check length/magic only,
+ * skipping the pattern checksum.  For hot-path taps (e.g. latency
+ * bookkeeping) where full integrity validation happens elsewhere.
+ */
+bool peekPayload(const std::uint8_t *payload, unsigned len,
+                 std::uint32_t &seq, std::uint32_t &flow);
+
 } // namespace tengig
 
 #endif // TENGIG_NET_FRAME_HH

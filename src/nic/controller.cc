@@ -61,6 +61,25 @@ NicController::build()
             rxFlow.deliver(bytes, len);
         });
     }
+    // Latency tap: close out the per-frame arrival timestamps taken in
+    // rxArrived().  Observes delivery; validation is untouched.
+    driver->onRxDelivered([this](const std::uint8_t *bytes,
+                                 unsigned len) {
+        if (len <= txHeaderBytes)
+            return;
+        std::uint32_t seq = 0, flow = 0;
+        if (!peekPayload(bytes + txHeaderBytes, len - txHeaderBytes,
+                         seq, flow)) {
+            return;
+        }
+        std::uint64_t key = (static_cast<std::uint64_t>(flow) << 32) |
+            seq;
+        auto it = rxInFlight.find(key);
+        if (it == rxInFlight.end())
+            return;
+        rxLatencyHist.sample(eq.curTick() - it->second);
+        rxInFlight.erase(it);
+    });
 
     // Crossbar requester ids: cores 0..P-1, then the four assists.
     AssistIds ids{P + 0, P + 1, P + 2, P + 3};
@@ -100,7 +119,7 @@ NicController::build()
     if (cfg.rxTraffic.enabled()) {
         auto engine = std::make_unique<TrafficEngine>(
             eq, cfg.rxTraffic, [this](FrameData &&fd) {
-                return macRx->frameArrived(std::move(fd));
+                return rxArrived(std::move(fd));
             });
         rxEngine = engine.get();
         source = std::move(engine);
@@ -108,7 +127,7 @@ NicController::build()
         source = std::make_unique<FrameSource>(
             eq, cfg.rxPayloadBytes, cfg.rxOfferedRate,
             [this](FrameData &&fd) {
-                return macRx->frameArrived(std::move(fd));
+                return rxArrived(std::move(fd));
             });
     }
 
@@ -136,6 +155,214 @@ NicController::build()
                                                *icaches.back(), layout,
                                                profile));
     }
+
+    registerAllStats();
+}
+
+bool
+NicController::rxArrived(FrameData &&fd)
+{
+    // Timestamp the wire arrival before handing the frame to the MAC;
+    // the delivery tap in rxCompletion() closes the pair.  Only frames
+    // the MAC accepts are tracked (drops never deliver).
+    std::uint32_t seq = 0, flow = 0;
+    bool tagged = fd.bytes.size() > txHeaderBytes &&
+        peekPayload(fd.bytes.data() + txHeaderBytes,
+                    static_cast<unsigned>(fd.bytes.size()) -
+                        txHeaderBytes,
+                    seq, flow);
+    Tick now = eq.curTick();
+    bool accepted = macRx->frameArrived(std::move(fd));
+    if (accepted && tagged) {
+        rxInFlight[(static_cast<std::uint64_t>(flow) << 32) | seq] =
+            now;
+    }
+    return accepted;
+}
+
+void
+NicController::registerAllStats()
+{
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        obs::StatGroup &g =
+            statRoot.group("core" + std::to_string(i));
+        cores[i]->registerStats(g);
+        g.group("icache").derived(
+            "missRatio",
+            [ic = icaches[i].get()] { return ic->missRatio(); });
+    }
+
+    obs::StatGroup &fw = statRoot.group("fw");
+    for (std::size_t t = 0; t < numFuncTags; ++t) {
+        std::string name = funcTagName(static_cast<FuncTag>(t));
+        for (auto &ch : name)
+            if (ch == ' ')
+                ch = '_';
+        obs::StatGroup &b = fw.group(name);
+        const auto *bucket = &profile.buckets[t];
+        b.derived("instructions", [bucket] {
+            return static_cast<double>(bucket->instructions);
+        });
+        b.derived("memAccesses", [bucket] {
+            return static_cast<double>(bucket->memAccesses);
+        });
+        b.derived("cycles", [bucket] {
+            return static_cast<double>(bucket->cycles);
+        });
+    }
+    for (unsigned l = 0; l < numFwLocks; ++l) {
+        obs::StatGroup &lk = fw.group("lock" + std::to_string(l));
+        lk.derived("acquires", [this, l] {
+            return static_cast<double>(fwState->lockAcquires[l]);
+        });
+        lk.derived("spins", [this, l] {
+            return static_cast<double>(fwState->lockSpins[l]);
+        });
+    }
+
+    spad->registerStats(statRoot.group("spad"));
+    ram->registerStats(statRoot.group("sdram"));
+    dmaRead->registerStats(statRoot.group("dmaRead"));
+    dmaWrite->registerStats(statRoot.group("dmaWrite"));
+    macTx->registerStats(statRoot.group("macTx"));
+    macRx->registerStats(statRoot.group("macRx"));
+
+    obs::StatGroup &im = statRoot.group("imem");
+    im.derived("fills", [this] {
+        return static_cast<double>(imem->fillCount());
+    });
+    im.derived("bytes", [this] {
+        return static_cast<double>(imem->bytesTransferred());
+    });
+
+    obs::StatGroup &link = statRoot.group("link");
+    link.derived("txFrames", [this] {
+        return static_cast<double>(txFramesNow());
+    });
+    link.derived("rxFramesDelivered", [this] {
+        return static_cast<double>(driver->rxFramesDelivered());
+    });
+    link.derived("rxDrops", [this] {
+        return static_cast<double>(macRx->framesDropped() +
+                                   source->framesDropped());
+    });
+
+    bool tx_flows = cfg.txTraffic.enabled();
+    bool rx_flows = cfg.rxTraffic.enabled();
+    obs::StatGroup &check = statRoot.group("check");
+    check.derived("orderErrors", [this, tx_flows, rx_flows] {
+        std::uint64_t n =
+            (tx_flows ? txFlow.gapErrors() + txFlow.duplicateErrors()
+                      : sink.orderErrors()) +
+            (rx_flows ? rxFlow.duplicateErrors()
+                      : driver->rxOrderErrors());
+        return static_cast<double>(n);
+    });
+    check.derived("integrityErrors", [this, tx_flows, rx_flows] {
+        std::uint64_t n =
+            (tx_flows ? txFlow.integrityErrors()
+                      : sink.integrityErrors()) +
+            (rx_flows ? rxFlow.integrityErrors()
+                      : driver->rxIntegrityErrors());
+        return static_cast<double>(n);
+    });
+    check.derived("orderGaps", [this, tx_flows, rx_flows] {
+        std::uint64_t n =
+            (tx_flows ? txFlow.gapErrors() : sink.gapErrors()) +
+            (rx_flows ? rxFlow.gapErrors() : driver->rxSeqGaps());
+        return static_cast<double>(n);
+    });
+    check.derived("orderDuplicates", [this, tx_flows, rx_flows] {
+        std::uint64_t n =
+            (tx_flows ? txFlow.duplicateErrors()
+                      : sink.duplicateErrors()) +
+            (rx_flows ? rxFlow.duplicateErrors()
+                      : driver->rxOrderErrors());
+        return static_cast<double>(n);
+    });
+
+    if (tx_flows || rx_flows) {
+        obs::StatGroup &traffic = statRoot.group("traffic");
+        if (tx_flows) {
+            traffic.derived("txFlowsSeen", [this] {
+                return static_cast<double>(txFlow.flowsSeen());
+            });
+        }
+        if (rx_flows) {
+            traffic.derived("rxFlowsSeen", [this] {
+                return static_cast<double>(rxFlow.flowsSeen());
+            });
+            if (rxEngine) {
+                // Guarded closures, not live counter pointers: the
+                // engine dies if useRxTrace() swaps in a replayer.
+                traffic.derived("rxFlowCount", [this] {
+                    return rxEngine
+                        ? static_cast<double>(rxEngine->flowCount())
+                        : 0.0;
+                });
+                traffic.derived("rxMeanOfferedPayload", [this] {
+                    return rxEngine ? rxEngine->sizeHistogram().mean()
+                                    : 0.0;
+                });
+            }
+            traffic.derived("rxOffered", [this] {
+                return static_cast<double>(source->framesOffered());
+            });
+            traffic.derived("rxDropped", [this] {
+                return static_cast<double>(source->framesDropped());
+            });
+        }
+    }
+
+    statRoot.group("latency").add(
+        "rx", rxLatencyHist,
+        "receive latency, wire arrival -> host delivery (ticks)");
+}
+
+void
+NicController::attachTrace(obs::TraceLog &t)
+{
+    eq.attachTraceLog(&t);
+    for (std::size_t i = 0; i < cores.size(); ++i)
+        cores[i]->setTraceLane(t.lane("core" + std::to_string(i)));
+    dmaRead->setTraceLane(t.lane("dma-read"));
+    dmaWrite->setTraceLane(t.lane("dma-write"));
+    macTx->setTraceLane(t.lane("mac-tx"));
+    macRx->setTraceLane(t.lane("mac-rx"));
+    ram->setTraceLane(t.lane("sdram"));
+    occLane = t.lane("occupancy");
+    occSpadPrev = spad->totalAccesses();
+    occSdramBusyPrev = ram->busyTickCount();
+    scheduleOccupancySample();
+}
+
+void
+NicController::scheduleOccupancySample()
+{
+    eq.scheduleIn(tickPerUs, [this] {
+        obs::TraceLog *t = eq.traceLog();
+        if (!t)
+            return; // detached: stop sampling
+        if (t->enabled()) {
+            Tick now = eq.curTick();
+            std::uint64_t acc = spad->totalAccesses();
+            // A stats reset between samples makes the counter regress;
+            // emit a zero-delta sample and resynchronize.
+            double d_acc = acc >= occSpadPrev
+                ? static_cast<double>(acc - occSpadPrev) : 0.0;
+            occSpadPrev = acc;
+            t->counterSample(occLane, "spad grants/us", now, d_acc);
+
+            std::uint64_t busy = ram->busyTickCount();
+            double d_busy = busy >= occSdramBusyPrev
+                ? static_cast<double>(busy - occSdramBusyPrev) : 0.0;
+            occSdramBusyPrev = busy;
+            t->counterSample(occLane, "sdram bus busy %", now,
+                             100.0 * d_busy /
+                                 static_cast<double>(tickPerUs));
+        }
+        scheduleOccupancySample();
+    }, EventPriority::Stats);
 }
 
 void
@@ -158,6 +385,9 @@ NicController::resetAllStats()
     for (auto &c : cores)
         c->resetStats();
     profile.reset();
+    // Latency starts fresh with the window; in-flight arrival stamps
+    // are kept so frames crossing the boundary still pair up.
+    rxLatencyHist.reset();
 }
 
 std::uint64_t
@@ -230,6 +460,7 @@ NicController::collect(Tick measured, std::uint64_t tx0_frames,
 
     for (auto &c : cores) {
         const CoreStats &s = c->stats();
+        r.coreIpc.push_back(s.ipc());
         r.coreTotals.instructions += s.instructions;
         r.coreTotals.executeCycles += s.executeCycles;
         r.coreTotals.imissCycles += s.imissCycles;
@@ -246,93 +477,27 @@ NicController::collect(Tick measured, std::uint64_t tx0_frames,
           cores.size()
         : 0.0;
     r.profile = profile;
+
+    r.rxLatency.count = rxLatencyHist.count();
+    if (r.rxLatency.count) {
+        double us = static_cast<double>(tickPerUs);
+        r.rxLatency.meanUs = rxLatencyHist.mean() / us;
+        r.rxLatency.p50Us = rxLatencyHist.p50() / us;
+        r.rxLatency.p95Us = rxLatencyHist.p95() / us;
+        r.rxLatency.p99Us = rxLatencyHist.p99() / us;
+        r.rxLatency.maxUs =
+            static_cast<double>(rxLatencyHist.maxSample()) / us;
+    }
     return r;
 }
 
 void
 NicController::report(stats::Report &r) const
 {
-    for (std::size_t i = 0; i < cores.size(); ++i) {
-        const CoreStats &s = cores[i]->stats();
-        std::string p = "core" + std::to_string(i);
-        r.set(p + ".instructions",
-              static_cast<double>(s.instructions));
-        r.set(p + ".ipc", s.ipc());
-        r.set(p + ".executeCycles",
-              static_cast<double>(s.executeCycles));
-        r.set(p + ".imissCycles", static_cast<double>(s.imissCycles));
-        r.set(p + ".loadStallCycles",
-              static_cast<double>(s.loadStallCycles));
-        r.set(p + ".conflictCycles",
-              static_cast<double>(s.conflictCycles));
-        r.set(p + ".pipelineCycles",
-              static_cast<double>(s.pipelineCycles));
-        r.set(p + ".idleCycles", static_cast<double>(s.idleCycles));
-        r.set(p + ".invocations", static_cast<double>(s.invocations));
-        r.set(p + ".icache.missRatio", icaches[i]->missRatio());
-    }
-    for (std::size_t t = 0; t < numFuncTags; ++t) {
-        const auto &b = profile.buckets[t];
-        std::string p = std::string("fw.") +
-            funcTagName(static_cast<FuncTag>(t));
-        for (auto &ch : p)
-            if (ch == ' ')
-                ch = '_';
-        r.set(p + ".instructions", static_cast<double>(b.instructions));
-        r.set(p + ".memAccesses", static_cast<double>(b.memAccesses));
-        r.set(p + ".cycles", static_cast<double>(b.cycles));
-    }
-    spad->report(r, "spad");
-    ram->report(r, "sdram");
-    r.set("imem.fills", static_cast<double>(imem->fillCount()));
-    r.set("imem.bytes", static_cast<double>(imem->bytesTransferred()));
-    r.set("link.txFrames", static_cast<double>(txFramesNow()));
-    r.set("link.rxFramesDelivered",
-          static_cast<double>(driver->rxFramesDelivered()));
-    r.set("link.rxDrops", static_cast<double>(macRx->framesDropped() +
-                                              source->framesDropped()));
-
-    bool tx_flows = cfg.txTraffic.enabled();
-    bool rx_flows = cfg.rxTraffic.enabled();
-    std::uint64_t order_errs =
-        (tx_flows ? txFlow.gapErrors() + txFlow.duplicateErrors()
-                  : sink.orderErrors()) +
-        (rx_flows ? rxFlow.duplicateErrors() : driver->rxOrderErrors());
-    std::uint64_t integ_errs =
-        (tx_flows ? txFlow.integrityErrors() : sink.integrityErrors()) +
-        (rx_flows ? rxFlow.integrityErrors()
-                  : driver->rxIntegrityErrors());
-    r.set("check.orderErrors", static_cast<double>(order_errs));
-    r.set("check.integrityErrors", static_cast<double>(integ_errs));
-    r.set("check.orderGaps",
-          static_cast<double>((tx_flows ? txFlow.gapErrors()
-                                        : sink.gapErrors()) +
-                              (rx_flows ? rxFlow.gapErrors()
-                                        : driver->rxSeqGaps())));
-    r.set("check.orderDuplicates",
-          static_cast<double>((tx_flows ? txFlow.duplicateErrors()
-                                        : sink.duplicateErrors()) +
-                              (rx_flows ? rxFlow.duplicateErrors()
-                                        : driver->rxOrderErrors())));
-    if (tx_flows)
-        r.set("traffic.txFlowsSeen",
-              static_cast<double>(txFlow.flowsSeen()));
-    if (rx_flows) {
-        r.set("traffic.rxFlowsSeen",
-              static_cast<double>(rxFlow.flowsSeen()));
-        if (rxEngine) {
-            r.set("traffic.rxFlowCount",
-                  static_cast<double>(rxEngine->flowCount()));
-            r.set("traffic.rxMeanOfferedPayload",
-                  rxEngine->sizeHistogram().mean());
-        }
-    }
-    for (unsigned l = 0; l < numFwLocks; ++l) {
-        r.set("fw.lock" + std::to_string(l) + ".acquires",
-              static_cast<double>(fwState->lockAcquires[l]));
-        r.set("fw.lock" + std::to_string(l) + ".spins",
-              static_cast<double>(fwState->lockSpins[l]));
-    }
+    // A flat dump of the registered tree: every component put its
+    // stats there at construction (registerAllStats), so the names
+    // are the same ones the tree's checked lookups resolve.
+    statRoot.dump(r);
 }
 
 NicResults
@@ -345,11 +510,11 @@ void
 NicController::useRxTrace(std::istream &in)
 {
     // The replayer feeds the same MAC entry point the generator would;
-    // the per-flow receive validator stays in place.
+    // the per-flow receive validator and latency tap stay in place.
     rxEngine = nullptr;
     source = std::make_unique<TraceReplayer>(
         eq, in, [this](FrameData &&fd) {
-            return macRx->frameArrived(std::move(fd));
+            return rxArrived(std::move(fd));
         });
 }
 

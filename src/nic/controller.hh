@@ -9,6 +9,7 @@
 #define TENGIG_NIC_CONTROLLER_HH
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "assist/dma_assist.hh"
@@ -22,6 +23,8 @@
 #include "mem/sdram.hh"
 #include "net/endpoints.hh"
 #include "nic/nic_config.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace_log.hh"
 #include "proc/core.hh"
 #include "traffic/flow_sink.hh"
 #include "traffic/trace.hh"
@@ -52,8 +55,21 @@ struct NicResults
     /// @}
 
     double aggregateIpc = 0.0;
+    std::vector<double> coreIpc; //!< per-core IPC over the window
     CoreStats coreTotals;        //!< summed over cores
     FirmwareProfile profile;     //!< per-function buckets
+
+    /** Receive latency (wire arrival -> host delivery) summary, µs. */
+    struct LatencySummary
+    {
+        std::uint64_t count = 0;
+        double meanUs = 0.0;
+        double p50Us = 0.0;
+        double p95Us = 0.0;
+        double p99Us = 0.0;
+        double maxUs = 0.0;
+    };
+    LatencySummary rxLatency;
 
     double spadGbps = 0.0;       //!< consumed scratchpad bandwidth
     double sdramGbps = 0.0;      //!< consumed frame-memory bandwidth
@@ -103,6 +119,22 @@ class NicController
     void report(stats::Report &r) const;
 
     /**
+     * The registered stat tree spanning every component.  Lookups are
+     * checked (an unknown dotted path is fatal); report() is a flat
+     * dump of this tree.
+     */
+    const obs::StatGroup &statTree() const { return statRoot; }
+
+    /**
+     * Attach a timeline recorder before run(): claims one lane per
+     * core plus lanes for the assists and SDRAM, and starts a 1 µs
+     * occupancy sampler (scratchpad grants, SDRAM bus busy fraction).
+     * The sampler keeps the event queue non-empty, so traced runs must
+     * use the bounded run entry points (they all are).
+     */
+    void attachTrace(obs::TraceLog &t);
+
+    /**
      * Replace the receive-direction generator with a recorded trace
      * (replayed from tick 0 of the run).  Call before run().  Pair it
      * with an rxTraffic-enabled config so the per-flow validator
@@ -135,6 +167,9 @@ class NicController
 
   private:
     void build();
+    void registerAllStats();
+    bool rxArrived(FrameData &&fd);
+    void scheduleOccupancySample();
     void startCores();
     void stopCores();
     NicResults collect(Tick measured, std::uint64_t tx0_frames,
@@ -182,6 +217,21 @@ class NicController
 
     Addr txBufSdram = 0;
     Addr rxBufSdram = 0;
+
+    obs::StatGroup statRoot;
+
+    /// @name Receive-latency bookkeeping (wire arrival -> delivery)
+    /// @{
+    stats::Histogram rxLatencyHist{250 * tickPerNs, 400}; //!< 100 µs span
+    std::unordered_map<std::uint64_t, Tick> rxInFlight;
+    /// @}
+
+    /// @name Occupancy sampling for the timeline recorder
+    /// @{
+    unsigned occLane = obs::noTraceLane;
+    std::uint64_t occSpadPrev = 0;
+    std::uint64_t occSdramBusyPrev = 0;
+    /// @}
 };
 
 } // namespace tengig

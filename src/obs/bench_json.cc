@@ -1,0 +1,65 @@
+#include "bench_json.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace tengig {
+namespace obs {
+
+BenchReport::BenchReport(std::string bench_name)
+    : doc(json::Value::object())
+{
+    doc.set("schema", benchSchemaVersion);
+    doc.set("bench", std::move(bench_name));
+    doc.set("rows", json::Value::array());
+}
+
+void
+BenchReport::addRow(const std::string &name, json::Value config,
+                    json::Value metrics)
+{
+    fatal_if(!config.isObject(), "bench row config must be an object");
+    fatal_if(!metrics.isObject(), "bench row metrics must be an object");
+    json::Value row = json::Value::object();
+    row.set("name", name);
+    row.set("config", std::move(config));
+    row.set("metrics", std::move(metrics));
+    doc.ref("rows").push(std::move(row));
+}
+
+void
+BenchReport::write(const std::string &path) const
+{
+    std::ofstream os(path);
+    fatal_if(!os, "cannot open '", path, "' for writing");
+    doc.write(os, 2);
+    os << "\n";
+    fatal_if(!os.good(), "short write to '", path, "'");
+}
+
+std::optional<std::string>
+jsonPathFromArgs(int argc, char **argv, const std::string &bench)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--json") == 0)
+            return "BENCH_" + bench + ".json";
+        if (std::strncmp(a, "--json=", 7) == 0 && a[7] != '\0')
+            return std::string(a + 7);
+    }
+    return std::nullopt;
+}
+
+bool
+hasFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (flag == argv[i])
+            return true;
+    return false;
+}
+
+} // namespace obs
+} // namespace tengig

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Schema-stable machine-readable bench reports.
+ *
+ * Every table/figure bench can emit a BENCH_<name>.json next to its
+ * human-readable text when invoked with --json[=path].  The schema is
+ * versioned and key order is fixed (json::Value objects preserve
+ * insertion order), so the files diff cleanly across commits and a CI
+ * perf trajectory can be built by collecting them run over run.
+ *
+ * Document shape (tengig-bench-v1):
+ *   {
+ *     "schema": "tengig-bench-v1",
+ *     "bench": "<name>",
+ *     "rows": [ { "name": ..., "config": {...}, "metrics": {...} } ]
+ *   }
+ * NIC benches build their metrics object with bench::nicRunMetrics()
+ * (bench/bench_util.hh), which always includes the duplex throughput,
+ * per-core IPC, and the rx latency percentile summary.
+ */
+
+#ifndef TENGIG_OBS_BENCH_JSON_HH
+#define TENGIG_OBS_BENCH_JSON_HH
+
+#include <optional>
+#include <string>
+
+#include "obs/json.hh"
+
+namespace tengig {
+namespace obs {
+
+/** Schema tag in every document's "schema" key. */
+constexpr const char *benchSchemaVersion = "tengig-bench-v1";
+
+/**
+ * Accumulates one bench's rows and writes the document.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string bench_name);
+
+    /**
+     * Append one measured configuration.
+     *
+     * @param name Row label (e.g. "6 cores @ 200 MHz").
+     * @param config Knobs that produced the row (object).
+     * @param metrics Measured values (object).
+     */
+    void addRow(const std::string &name, json::Value config,
+                json::Value metrics);
+
+    std::size_t rows() const { return doc.at("rows").size(); }
+
+    const json::Value &document() const { return doc; }
+
+    /** Write to @p path (fatal on I/O failure). */
+    void write(const std::string &path) const;
+
+  private:
+    json::Value doc;
+};
+
+/**
+ * Scan argv for --json or --json=<path>; returns the output path
+ * (default BENCH_<bench>.json) when present, nullopt otherwise.
+ */
+std::optional<std::string> jsonPathFromArgs(int argc, char **argv,
+                                            const std::string &bench);
+
+/** True when @p flag (e.g. "--quick") appears in argv. */
+bool hasFlag(int argc, char **argv, const std::string &flag);
+
+} // namespace obs
+} // namespace tengig
+
+#endif // TENGIG_OBS_BENCH_JSON_HH

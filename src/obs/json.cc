@@ -1,0 +1,527 @@
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tengig {
+namespace obs {
+namespace json {
+
+Value::Value(double d) : _kind(Kind::Number), num(d)
+{
+    fatal_if(!std::isfinite(d),
+             "non-finite number in a JSON document: ", d);
+}
+
+bool
+Value::asBool() const
+{
+    fatal_if(_kind != Kind::Bool, "JSON value is not a bool");
+    return boolean;
+}
+
+double
+Value::asNumber() const
+{
+    fatal_if(_kind != Kind::Number, "JSON value is not a number");
+    return num;
+}
+
+const std::string &
+Value::asString() const
+{
+    fatal_if(_kind != Kind::String, "JSON value is not a string");
+    return str;
+}
+
+const Array &
+Value::asArray() const
+{
+    fatal_if(_kind != Kind::ArrayK, "JSON value is not an array");
+    return arr;
+}
+
+const Members &
+Value::asObject() const
+{
+    fatal_if(_kind != Kind::ObjectK, "JSON value is not an object");
+    return members;
+}
+
+Value &
+Value::push(Value v)
+{
+    fatal_if(_kind != Kind::ArrayK, "push() on a non-array JSON value");
+    arr.push_back(std::move(v));
+    return *this;
+}
+
+Value &
+Value::set(const std::string &key, Value v)
+{
+    fatal_if(_kind != Kind::ObjectK, "set() on a non-object JSON value");
+    for (auto &[k, existing] : members) {
+        if (k == key) {
+            existing = std::move(v);
+            return *this;
+        }
+    }
+    members.emplace_back(key, std::move(v));
+    return *this;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (_kind != Kind::ObjectK)
+        return nullptr;
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const Value *v = find(key);
+    fatal_if(!v, "missing JSON object key '", key, "'");
+    return *v;
+}
+
+Value &
+Value::ref(const std::string &key)
+{
+    fatal_if(_kind != Kind::ObjectK, "ref() on a non-object JSON value");
+    for (auto &[k, v] : members)
+        if (k == key)
+            return v;
+    fatal("missing JSON object key '", key, "'");
+}
+
+const Value &
+Value::at(std::size_t i) const
+{
+    fatal_if(_kind != Kind::ArrayK, "indexing a non-array JSON value");
+    fatal_if(i >= arr.size(), "JSON array index ", i, " out of range (",
+             arr.size(), " elements)");
+    return arr[i];
+}
+
+std::size_t
+Value::size() const
+{
+    switch (_kind) {
+      case Kind::ArrayK: return arr.size();
+      case Kind::ObjectK: return members.size();
+      default: return 0;
+    }
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+namespace {
+
+void
+writeNumber(std::ostream &os, double d)
+{
+    // Integers dominate these documents (counters, tick durations);
+    // emit them without an exponent or trailing ".0" so artifacts stay
+    // grep-able.  Everything else uses max_digits10 round-trip form.
+    if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+        std::fabs(d) < 1e15) {
+        os << static_cast<std::int64_t>(d);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    os << buf;
+}
+
+} // namespace
+
+void
+Value::writeIndented(std::ostream &os, unsigned indent,
+                     unsigned depth) const
+{
+    auto newline = [&](unsigned d) {
+        if (indent) {
+            os << '\n';
+            for (unsigned i = 0; i < indent * d; ++i)
+                os << ' ';
+        }
+    };
+
+    switch (_kind) {
+      case Kind::Null:
+        os << "null";
+        return;
+      case Kind::Bool:
+        os << (boolean ? "true" : "false");
+        return;
+      case Kind::Number:
+        writeNumber(os, num);
+        return;
+      case Kind::String:
+        os << escape(str);
+        return;
+      case Kind::ArrayK: {
+        if (arr.empty()) {
+            os << "[]";
+            return;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            if (i)
+                os << (indent ? "," : ",");
+            newline(depth + 1);
+            arr[i].writeIndented(os, indent, depth + 1);
+        }
+        newline(depth);
+        os << ']';
+        return;
+      }
+      case Kind::ObjectK: {
+        if (members.empty()) {
+            os << "{}";
+            return;
+        }
+        os << '{';
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            os << escape(members[i].first) << (indent ? ": " : ":");
+            members[i].second.writeIndented(os, indent, depth + 1);
+        }
+        newline(depth);
+        os << '}';
+        return;
+      }
+    }
+}
+
+void
+Value::write(std::ostream &os, unsigned indent) const
+{
+    writeIndented(os, indent, 0);
+}
+
+std::string
+Value::dump(unsigned indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+namespace {
+
+/** Recursive-descent parser over a complete in-memory document. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : s(text), errOut(err)
+    {}
+
+    std::optional<Value>
+    run()
+    {
+        skipWs();
+        std::optional<Value> v = parseValue(0);
+        if (!v)
+            return std::nullopt;
+        skipWs();
+        if (pos != s.size()) {
+            fail("trailing characters after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    static constexpr unsigned maxDepth = 128;
+
+    void
+    fail(const std::string &what)
+    {
+        if (errOut && errOut->empty()) {
+            std::ostringstream os;
+            os << what << " at offset " << pos;
+            *errOut = os.str();
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::char_traits<char>::length(word);
+        if (s.compare(pos, n, word) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<std::string>
+    parseString()
+    {
+        if (!consume('"')) {
+            fail("expected string");
+            return std::nullopt;
+        }
+        std::string out;
+        while (pos < s.size()) {
+            char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+                return std::nullopt;
+            }
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= s.size())
+                break;
+            char e = s[pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos + 4 > s.size()) {
+                    fail("truncated \\u escape");
+                    return std::nullopt;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad hex digit in \\u escape");
+                        return std::nullopt;
+                    }
+                }
+                // UTF-8 encode the code point (surrogate pairs are not
+                // needed by anything we emit; reject them).
+                if (cp >= 0xd800 && cp <= 0xdfff) {
+                    fail("surrogate \\u escape unsupported");
+                    return std::nullopt;
+                }
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                } else {
+                    out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+                return std::nullopt;
+            }
+        }
+        fail("unterminated string");
+        return std::nullopt;
+    }
+
+    std::optional<Value>
+    parseNumber()
+    {
+        std::size_t start = pos;
+        if (consume('-')) {}
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos == start) {
+            fail("expected number");
+            return std::nullopt;
+        }
+        std::string tok = s.substr(start, pos - start);
+        // RFC 8259 forbids leading zeros ("01"), which strtod accepts.
+        std::size_t first = tok[0] == '-' ? 1 : 0;
+        if (tok.size() > first + 1 && tok[first] == '0' &&
+            std::isdigit(static_cast<unsigned char>(tok[first + 1]))) {
+            fail("number has a leading zero");
+            return std::nullopt;
+        }
+        char *end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size() || !std::isfinite(d)) {
+            fail("malformed number");
+            return std::nullopt;
+        }
+        return Value(d);
+    }
+
+    std::optional<Value>
+    parseValue(unsigned depth)
+    {
+        if (depth > maxDepth) {
+            fail("document nests too deeply");
+            return std::nullopt;
+        }
+        skipWs();
+        if (pos >= s.size()) {
+            fail("unexpected end of document");
+            return std::nullopt;
+        }
+        char c = s[pos];
+        if (c == 'n')
+            return literal("null")
+                ? std::optional<Value>(Value(nullptr))
+                : (fail("bad literal"), std::nullopt);
+        if (c == 't')
+            return literal("true")
+                ? std::optional<Value>(Value(true))
+                : (fail("bad literal"), std::nullopt);
+        if (c == 'f')
+            return literal("false")
+                ? std::optional<Value>(Value(false))
+                : (fail("bad literal"), std::nullopt);
+        if (c == '"') {
+            auto str = parseString();
+            if (!str)
+                return std::nullopt;
+            return Value(std::move(*str));
+        }
+        if (c == '[') {
+            ++pos;
+            Value v = Value::array();
+            skipWs();
+            if (consume(']'))
+                return v;
+            while (true) {
+                auto elem = parseValue(depth + 1);
+                if (!elem)
+                    return std::nullopt;
+                v.push(std::move(*elem));
+                skipWs();
+                if (consume(']'))
+                    return v;
+                if (!consume(',')) {
+                    fail("expected ',' or ']' in array");
+                    return std::nullopt;
+                }
+            }
+        }
+        if (c == '{') {
+            ++pos;
+            Value v = Value::object();
+            skipWs();
+            if (consume('}'))
+                return v;
+            while (true) {
+                skipWs();
+                auto key = parseString();
+                if (!key)
+                    return std::nullopt;
+                skipWs();
+                if (!consume(':')) {
+                    fail("expected ':' after object key");
+                    return std::nullopt;
+                }
+                auto member = parseValue(depth + 1);
+                if (!member)
+                    return std::nullopt;
+                v.set(*key, std::move(*member));
+                skipWs();
+                if (consume('}'))
+                    return v;
+                if (!consume(',')) {
+                    fail("expected ',' or '}' in object");
+                    return std::nullopt;
+                }
+            }
+        }
+        return parseNumber();
+    }
+
+    const std::string &s;
+    std::string *errOut;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+std::optional<Value>
+parse(const std::string &text, std::string *err)
+{
+    if (err)
+        err->clear();
+    return Parser(text, err).run();
+}
+
+} // namespace json
+} // namespace obs
+} // namespace tengig

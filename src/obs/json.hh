@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Minimal JSON document model for machine-readable observability
+ * artifacts (BENCH_*.json reports, Chrome trace-event timelines).
+ *
+ * Design constraints, in order:
+ *  - schema stability: objects preserve insertion order, so two runs
+ *    of the same bench emit byte-identical key sequences and reports
+ *    can be diffed textually;
+ *  - correctness: strings are escaped per RFC 8259, numbers round-trip
+ *    through shortest-exact formatting;
+ *  - self-containment: a small recursive-descent parser lets tests and
+ *    the ctest smoke validator check emitted artifacts without any
+ *    external dependency.
+ *
+ * This is deliberately not a general-purpose JSON library: no comments,
+ * no NaN/Inf (rejected at build time -- they would poison downstream
+ * tooling), and documents are built programmatically rather than via
+ * operator sugar.
+ */
+
+#ifndef TENGIG_OBS_JSON_HH
+#define TENGIG_OBS_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tengig {
+namespace obs {
+namespace json {
+
+class Value;
+
+/** Object member list; insertion order is the serialization order. */
+using Members = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+enum class Kind : std::uint8_t
+{
+    Null,
+    Bool,
+    Number,
+    String,
+    ArrayK,
+    ObjectK,
+};
+
+/**
+ * One JSON value.  Copyable, order-preserving, with checked accessors
+ * that fail loudly (via fatal()) on kind mismatches so a schema drift
+ * is caught where it happens, not as a silent 0.
+ */
+class Value
+{
+  public:
+    Value() : _kind(Kind::Null) {}
+    Value(std::nullptr_t) : _kind(Kind::Null) {}
+    Value(bool b) : _kind(Kind::Bool), boolean(b) {}
+    Value(double d);
+    Value(int i) : Value(static_cast<double>(i)) {}
+    Value(unsigned u) : Value(static_cast<double>(u)) {}
+    Value(std::int64_t i) : Value(static_cast<double>(i)) {}
+    Value(std::uint64_t u) : Value(static_cast<double>(u)) {}
+    Value(const char *s) : _kind(Kind::String), str(s) {}
+    Value(std::string s) : _kind(Kind::String), str(std::move(s)) {}
+
+    /** Build an empty array / object. */
+    static Value array() { Value v; v._kind = Kind::ArrayK; return v; }
+    static Value object() { Value v; v._kind = Kind::ObjectK; return v; }
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+    bool isBool() const { return _kind == Kind::Bool; }
+    bool isNumber() const { return _kind == Kind::Number; }
+    bool isString() const { return _kind == Kind::String; }
+    bool isArray() const { return _kind == Kind::ArrayK; }
+    bool isObject() const { return _kind == Kind::ObjectK; }
+
+    /// @name Checked accessors (fatal on kind mismatch)
+    /// @{
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Members &asObject() const;
+    /// @}
+
+    /** Append to an array value. */
+    Value &push(Value v);
+
+    /**
+     * Set (or overwrite) an object member.  New keys append, keeping
+     * first-insertion order stable.
+     */
+    Value &set(const std::string &key, Value v);
+
+    /** Object member lookup; nullptr when absent. */
+    const Value *find(const std::string &key) const;
+
+    /** Checked object member lookup: fatal when absent. */
+    const Value &at(const std::string &key) const;
+
+    /** Mutable checked member lookup (build nested structures in place). */
+    Value &ref(const std::string &key);
+
+    /** Checked array element lookup: fatal when out of range. */
+    const Value &at(std::size_t i) const;
+
+    std::size_t size() const;
+
+    /**
+     * Serialize.  @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits the compact single-line form.
+     */
+    void write(std::ostream &os, unsigned indent = 0) const;
+    std::string dump(unsigned indent = 0) const;
+
+  private:
+    void writeIndented(std::ostream &os, unsigned indent,
+                       unsigned depth) const;
+
+    Kind _kind;
+    bool boolean = false;
+    double num = 0.0;
+    std::string str;
+    Array arr;
+    Members members;
+};
+
+/** Escape and double-quote @p s per RFC 8259. */
+std::string escape(const std::string &s);
+
+/**
+ * Parse a complete JSON document.
+ *
+ * @param[out] err Human-readable error with offset, set on failure.
+ * @return The parsed value, or nullopt on malformed input (including
+ *         trailing garbage).
+ */
+std::optional<Value> parse(const std::string &text, std::string *err = nullptr);
+
+} // namespace json
+} // namespace obs
+} // namespace tengig
+
+#endif // TENGIG_OBS_JSON_HH

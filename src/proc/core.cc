@@ -1,5 +1,8 @@
 #include "core.hh"
 
+#include "obs/stat_registry.hh"
+#include "obs/trace_log.hh"
+
 namespace tengig {
 
 const char *
@@ -51,6 +54,34 @@ Core::resetStats()
 }
 
 void
+Core::registerStats(obs::StatGroup &g) const
+{
+    g.derived("instructions",
+              [this] { return static_cast<double>(_stats.instructions); });
+    g.derived("ipc", [this] { return _stats.ipc(); },
+              "instructions per total cycle (Table 3)");
+    g.derived("executeCycles",
+              [this] { return static_cast<double>(_stats.executeCycles); });
+    g.derived("imissCycles",
+              [this] { return static_cast<double>(_stats.imissCycles); });
+    g.derived("loadStallCycles", [this] {
+        return static_cast<double>(_stats.loadStallCycles);
+    });
+    g.derived("conflictCycles", [this] {
+        return static_cast<double>(_stats.conflictCycles);
+    });
+    g.derived("pipelineCycles", [this] {
+        return static_cast<double>(_stats.pipelineCycles);
+    });
+    g.derived("idleCycles",
+              [this] { return static_cast<double>(_stats.idleCycles); });
+    g.derived("invocations",
+              [this] { return static_cast<double>(_stats.invocations); });
+    g.derived("idlePolls",
+              [this] { return static_cast<double>(_stats.idlePolls); });
+}
+
+void
 Core::account(FuncTag tag, std::uint64_t instrs, std::uint64_t mem,
               std::uint64_t cycles)
 {
@@ -63,6 +94,15 @@ Core::account(FuncTag tag, std::uint64_t instrs, std::uint64_t mem,
 void
 Core::nextInvocation()
 {
+    // The previous invocation (if traced) ends here, whether or not the
+    // core keeps running.
+    if (invTraced) {
+        invTraced = false;
+        if (obs::TraceLog *t = traceLog(); t && t->enabled()) {
+            t->complete(traceLane, funcTagName(invTag), invStart,
+                        curTick() - invStart, "firmware");
+        }
+    }
     if (!running)
         return;
     current = dispatcher.next(coreId);
@@ -71,6 +111,21 @@ Core::nextInvocation()
         ++_stats.idlePolls;
     else
         ++_stats.invocations;
+    if (!current.idlePoll && !current.ops.empty() &&
+        traceLane != obs::noTraceLane) {
+        if (obs::TraceLog *t = traceLog(); t && t->enabled()) {
+            invTraced = true;
+            invStart = curTick();
+            // Name the span after the first firmware (non-Idle) op tag.
+            invTag = FuncTag::Idle;
+            for (const MicroOp &op : current.ops) {
+                if (op.tag != FuncTag::Idle) {
+                    invTag = op.tag;
+                    break;
+                }
+            }
+        }
+    }
     if (current.ops.empty()) {
         // Degenerate dispatcher result: charge one idle cycle so
         // simulated time always advances.

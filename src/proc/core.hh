@@ -32,6 +32,8 @@
 
 namespace tengig {
 
+namespace obs { class StatGroup; }
+
 /**
  * Instruction-address layout: each firmware function bucket owns a
  * region of the 128 KB instruction memory.  Replayed ops advance a
@@ -101,6 +103,12 @@ class Core : public Clocked
     const CoreStats &stats() const { return _stats; }
     void resetStats();
 
+    /** Register cycle-accounting stats into the owner's tree (src/obs). */
+    void registerStats(obs::StatGroup &g) const;
+
+    /** Timeline row for firmware-invocation spans (src/obs recorder). */
+    void setTraceLane(unsigned lane) { traceLane = lane; }
+
   private:
     void nextInvocation();
     void beginOp();
@@ -126,6 +134,11 @@ class Core : public Clocked
     bool storeBufferBusy = false;
     FuncTag pendingTag = FuncTag::Idle; //!< in-flight store bookkeeping
     Addr pendingAddr = 0;
+
+    unsigned traceLane = 0xffffffffu; //!< obs::noTraceLane
+    bool invTraced = false;           //!< an invocation span is open
+    Tick invStart = 0;
+    FuncTag invTag = FuncTag::Idle;
 
     CoreStats _stats;
 };

@@ -92,6 +92,9 @@ class Clocked
     /** Current cycle in this component's domain. */
     Cycles curCycle() const { return _domain.cycleAt(_eq.curTick()); }
 
+    /** Attached timeline recorder, or nullptr when tracing is off. */
+    obs::TraceLog *traceLog() const { return _eq.traceLog(); }
+
     /**
      * Schedule @p fn @p cycles edges after the next edge at-or-after now.
      * scheduleCycles(0, fn) fires at the next edge (or immediately if now

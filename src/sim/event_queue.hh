@@ -23,6 +23,8 @@
 
 namespace tengig {
 
+namespace obs { class TraceLog; }
+
 /** Opaque handle used to cancel a scheduled event. */
 using EventId = std::uint64_t;
 
@@ -102,6 +104,15 @@ class EventQueue
     /** Total number of events ever executed (for perf benchmarks). */
     std::uint64_t executedEvents() const { return executed; }
 
+    /// @name Opt-in timeline tracing
+    /// Components reached through this queue emit Chrome trace-event
+    /// spans when a recorder is attached (src/obs/trace_log.hh); the
+    /// null default makes tracing a single-pointer check on hot paths.
+    /// @{
+    void attachTraceLog(obs::TraceLog *log) { _trace = log; }
+    obs::TraceLog *traceLog() const { return _trace; }
+    /// @}
+
   private:
     struct Entry
     {
@@ -131,6 +142,7 @@ class EventQueue
     Tick _curTick = 0;
     EventId nextId = 1;
     std::uint64_t executed = 0;
+    obs::TraceLog *_trace = nullptr;
 };
 
 } // namespace tengig

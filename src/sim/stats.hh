@@ -3,19 +3,27 @@
  * Lightweight statistics primitives.
  *
  * Components own named counters / histograms registered into a StatGroup
- * tree so experiment runners can dump a coherent report.  The design is a
- * deliberately small subset of gem5's stats package: scalar counters,
- * averages, and fixed-bucket histograms.
+ * tree (src/obs/stat_registry.hh) so experiment runners can dump a
+ * coherent report.  The design is a deliberately small subset of gem5's
+ * stats package: scalar counters, averages, and fixed-bucket histograms
+ * with percentile summaries.
+ *
+ * Lookups are checked: asking a Report for a name that was never set is
+ * a fatal error (a typo'd stat name silently reading 0.0 once hid an
+ * empty benchmark column); use getOr() when a default is intentional.
  */
 
 #ifndef TENGIG_SIM_STATS_HH
 #define TENGIG_SIM_STATS_HH
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "sim/logging.hh"
 
 namespace tengig {
 namespace stats {
@@ -42,9 +50,9 @@ class Average
     {
         sum += v;
         ++n;
-        if (v < mn || n == 1)
+        if (v < mn)
             mn = v;
-        if (v > mx || n == 1)
+        if (v > mx)
             mx = v;
     }
 
@@ -52,22 +60,48 @@ class Average
     double min() const { return n ? mn : 0.0; }
     double max() const { return n ? mx : 0.0; }
     std::uint64_t count() const { return n; }
-    void reset() { sum = 0; n = 0; mn = 0; mx = 0; }
+
+    void
+    reset()
+    {
+        // Explicit empty state: min starts at +inf and max at -inf so
+        // the first sample always wins, with no reliance on the n
+        // guard in sample() (there is none).
+        sum = 0;
+        n = 0;
+        mn = std::numeric_limits<double>::infinity();
+        mx = -std::numeric_limits<double>::infinity();
+    }
 
   private:
-    double sum = 0, mn = 0, mx = 0;
+    double sum = 0;
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
     std::uint64_t n = 0;
 };
 
-/** Fixed-width-bucket histogram with overflow bucket. */
+/**
+ * Fixed-width-bucket histogram with an overflow bucket and percentile
+ * summaries (p50/p95/p99 feed the BENCH_*.json latency reports).
+ */
 class Histogram
 {
   public:
     Histogram() : Histogram(1, 16) {}
 
+    /**
+     * @param bucket_width Value range covered by each bucket; > 0.
+     * @param buckets Number of regular buckets (an overflow bucket is
+     *        appended); > 0, otherwise every sample would land in the
+     *        overflow bucket and percentiles would be meaningless.
+     */
     Histogram(std::uint64_t bucket_width, std::size_t buckets)
-        : width(bucket_width ? bucket_width : 1), counts(buckets + 1, 0)
-    {}
+        : width(bucket_width), counts(buckets + 1, 0)
+    {
+        fatal_if(bucket_width == 0, "histogram with zero bucket width");
+        fatal_if(buckets == 0, "histogram with zero buckets (every "
+                 "sample would overflow)");
+    }
 
     void
     sample(std::uint64_t v)
@@ -78,13 +112,17 @@ class Histogram
         ++counts[b];
         ++n;
         total += v;
+        if (v > mx)
+            mx = v;
     }
 
     std::uint64_t count() const { return n; }
     double mean() const { return n ? static_cast<double>(total) / n : 0.0; }
+    std::uint64_t maxSample() const { return n ? mx : 0; }
     std::uint64_t bucket(std::size_t i) const { return counts.at(i); }
     std::size_t buckets() const { return counts.size(); }
     std::uint64_t bucketWidth() const { return width; }
+    std::uint64_t overflow() const { return counts.back(); }
 
     /** Fraction of samples in bucket @p i. */
     double
@@ -93,11 +131,34 @@ class Histogram
         return n ? static_cast<double>(counts.at(i)) / n : 0.0;
     }
 
+    /**
+     * Value at quantile @p q in [0, 1], linearly interpolated within
+     * the containing bucket.  Samples in the overflow bucket report
+     * the observed maximum (the histogram cannot resolve beyond its
+     * range).  Returns 0 when empty.
+     */
+    double percentile(double q) const;
+
+    double p50() const { return percentile(0.50); }
+    double p95() const { return percentile(0.95); }
+    double p99() const { return percentile(0.99); }
+
+    void
+    reset()
+    {
+        for (auto &c : counts)
+            c = 0;
+        n = 0;
+        total = 0;
+        mx = 0;
+    }
+
   private:
     std::uint64_t width;
     std::vector<std::uint64_t> counts;
     std::uint64_t n = 0;
     std::uint64_t total = 0;
+    std::uint64_t mx = 0;
 };
 
 /**
@@ -113,14 +174,32 @@ class Report
         values[name] = value;
     }
 
+    /**
+     * Checked lookup: fatal on an unknown name.  A missing stat means
+     * a typo'd name or a component that never registered -- both are
+     * bugs worth failing on, not 0.0 data points.
+     */
     double
     get(const std::string &name) const
     {
         auto it = values.find(name);
-        return it == values.end() ? 0.0 : it->second;
+        fatal_if(it == values.end(), "no stat named '", name,
+                 "' in this report (", values.size(),
+                 " stats present); use getOr() for optional stats");
+        return it->second;
+    }
+
+    /** Lookup with an intentional default for optional stats. */
+    double
+    getOr(const std::string &name, double dflt) const
+    {
+        auto it = values.find(name);
+        return it == values.end() ? dflt : it->second;
     }
 
     bool has(const std::string &name) const { return values.count(name); }
+
+    std::size_t size() const { return values.size(); }
 
     const std::map<std::string, double> &all() const { return values; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stat_registry.hh"
 #include "sim/logging.hh"
 
 namespace tengig {
@@ -44,9 +45,27 @@ TrafficEngine::start(Tick start_tick)
     linkFreeAt = std::max(linkFreeAt, base);
     for (std::size_t i = 0; i < flows.size(); ++i) {
         eq.schedule(base + flows[i]->firstGap(),
-                    [this, i] { emit(i); },
+                    [this, i] { arrival(i); },
                     EventPriority::HardwareProgress);
     }
+}
+
+void
+TrafficEngine::arrival(std::size_t idx)
+{
+    if (!running)
+        return;
+    // The frame limit is an admission decision made at arrival time.
+    // An admitted arrival is always eventually offered, even when link
+    // contention defers it past the moment a competing flow's traffic
+    // reaches the limit; checking at departure time instead would
+    // silently discard deferred frames at the limit boundary.  A flow
+    // that arrives past the limit simply stops rescheduling itself --
+    // other flows' deferred frames keep draining.
+    if (limit && admitted >= limit)
+        return;
+    ++admitted;
+    emit(idx);
 }
 
 void
@@ -54,10 +73,6 @@ TrafficEngine::emit(std::size_t idx)
 {
     if (!running)
         return;
-    if (limit && offered.value() >= limit) {
-        running = false;
-        return;
-    }
 
     // Serialize onto the link: a frame whose departure time lands
     // inside another flow's wire occupancy waits for the link.
@@ -91,8 +106,18 @@ TrafficEngine::emit(std::size_t idx)
     // exactly one event in flight and its offered rate is an upper
     // bound that link contention can push down (queueing, not
     // accumulation).
-    eq.scheduleIn(f.nextGap(), [this, idx] { emit(idx); },
+    eq.scheduleIn(f.nextGap(), [this, idx] { arrival(idx); },
                   EventPriority::HardwareProgress);
+}
+
+void
+TrafficEngine::registerStats(obs::StatGroup &g) const
+{
+    g.add("offered", offered, "frames offered to the link");
+    g.add("dropped", dropped, "offered frames the sink rejected");
+    g.add("payloadBytes", payload);
+    g.add("sizeHist", sizeHist,
+          "offered payload sizes (64-byte buckets)");
 }
 
 TxSchedule::TxSchedule(const TrafficProfile &profile)

@@ -35,6 +35,8 @@
 
 namespace tengig {
 
+namespace obs { class StatGroup; }
+
 /**
  * Multi-flow workload generator for the receive direction.
  */
@@ -65,6 +67,9 @@ class TrafficEngine : public FrameGenerator
     /** Offered payload-size distribution (64-byte buckets). */
     const stats::Histogram &sizeHistogram() const { return sizeHist; }
 
+    /** Register counters into the owner's stat tree (src/obs). */
+    void registerStats(obs::StatGroup &g) const;
+
   private:
     void arrival(std::size_t idx);
     void emit(std::size_t idx);
@@ -74,7 +79,8 @@ class TrafficEngine : public FrameGenerator
     std::vector<std::unique_ptr<Flow>> flows;
     TraceRecorder *recorder = nullptr;
     Tick linkFreeAt = 0;
-    std::uint64_t limit = 0; //!< 0 = unlimited
+    std::uint64_t limit = 0;    //!< 0 = unlimited
+    std::uint64_t admitted = 0; //!< arrivals admitted against the limit
     bool running = false;
 
     stats::Counter offered;

@@ -47,6 +47,44 @@ TEST(ClockDomain, ZeroPeriodIsFatal)
     EXPECT_THROW(ClockDomain("bad", 0), FatalError);
 }
 
+// Edge arithmetic at exact boundaries: one tick either side of an
+// edge, tick 0, and the degenerate period-1 domain where every tick
+// is an edge.
+TEST(ClockDomain, EdgeBoundaries)
+{
+    ClockDomain cpu("cpu", 5000);
+    EXPECT_EQ(cpu.nextEdgeAtOrAfter(4999), 5000u);
+    EXPECT_EQ(cpu.nextEdgeAtOrAfter(5001), 10000u);
+    EXPECT_EQ(cpu.nextEdgeAtOrAfter(9999), 10000u);
+    EXPECT_EQ(cpu.nextEdgeAtOrAfter(10000), 10000u);
+    EXPECT_EQ(cpu.nextEdgeAfter(0), 5000u);
+
+    ClockDomain unit("unit", 1);
+    EXPECT_EQ(unit.nextEdgeAtOrAfter(0), 0u);
+    EXPECT_EQ(unit.nextEdgeAtOrAfter(7), 7u);
+    EXPECT_EQ(unit.nextEdgeAfter(7), 8u);
+    EXPECT_EQ(unit.cycleAt(7), 7u);
+}
+
+TEST(ClockDomain, TicksToCyclesBoundaries)
+{
+    ClockDomain mem("membus", 2000);
+    // Round-up semantics: 0 ticks is 0 cycles; 1 tick already needs a
+    // full cycle; an exact multiple must NOT round up an extra cycle.
+    EXPECT_EQ(mem.ticksToCycles(0), 0u);
+    EXPECT_EQ(mem.ticksToCycles(1), 1u);
+    EXPECT_EQ(mem.ticksToCycles(1999), 1u);
+    EXPECT_EQ(mem.ticksToCycles(2000), 1u);
+    EXPECT_EQ(mem.ticksToCycles(2001), 2u);
+    EXPECT_EQ(mem.ticksToCycles(3999), 2u);
+    EXPECT_EQ(mem.ticksToCycles(4000), 2u);
+    // Round trip: cyclesToTicks(ticksToCycles(d)) >= d, tight when d
+    // is a multiple of the period.
+    for (Tick d : {1u, 1999u, 2000u, 2001u, 4000u, 4001u}) {
+        EXPECT_GE(mem.cyclesToTicks(mem.ticksToCycles(d)), d);
+    }
+}
+
 namespace {
 
 class Probe : public Clocked

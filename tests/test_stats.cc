@@ -7,9 +7,11 @@
 
 #include <sstream>
 
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 
 using namespace tengig::stats;
+using tengig::FatalError;
 
 TEST(Counter, IncrementAndAdd)
 {
@@ -80,7 +82,6 @@ TEST(Report, SetGetHasPrint)
     EXPECT_TRUE(r.has("nic.frames"));
     EXPECT_FALSE(r.has("nope"));
     EXPECT_DOUBLE_EQ(r.get("nic.throughputGbps"), 9.87);
-    EXPECT_DOUBLE_EQ(r.get("missing"), 0.0);
 
     std::ostringstream os;
     r.print(os);
@@ -90,4 +91,106 @@ TEST(Report, SetGetHasPrint)
     r.print(filtered, "nic.frames");
     EXPECT_EQ(filtered.str().find("throughput"), std::string::npos);
     EXPECT_NE(filtered.str().find("nic.frames"), std::string::npos);
+}
+
+// Regression: get() used to return a silent 0.0 for unknown names,
+// which let stat-name typos in benches masquerade as measured zeros.
+TEST(Report, GetUnknownNameIsFatal)
+{
+    Report r;
+    r.set("known", 1.0);
+    EXPECT_THROW(r.get("missing"), FatalError);
+    EXPECT_THROW(r.get("Known"), FatalError); // case matters
+}
+
+TEST(Report, GetOrProvidesExplicitDefault)
+{
+    Report r;
+    r.set("present", 2.5);
+    EXPECT_DOUBLE_EQ(r.getOr("present", -1.0), 2.5);
+    EXPECT_DOUBLE_EQ(r.getOr("absent", -1.0), -1.0);
+    EXPECT_DOUBLE_EQ(r.getOr("absent", 0.0), 0.0);
+    EXPECT_EQ(r.size(), 1u);
+}
+
+// Regression: reset() used to leave min/max at 0, so a post-reset
+// sample stream with all-positive values reported min() == 0.
+TEST(Average, ResetRestoresMinMaxSentinels)
+{
+    Average a;
+    a.sample(-5.0);
+    a.sample(10.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0); // empty: defined as 0
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    a.sample(3.0);
+    a.sample(7.0);
+    EXPECT_DOUBLE_EQ(a.min(), 3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 7.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+// Regression: a zero-bucket or zero-width histogram used to be
+// constructible and silently misfiled every sample.
+TEST(Histogram, DegenerateGeometryIsFatal)
+{
+    EXPECT_THROW(Histogram(0, 4), FatalError);
+    EXPECT_THROW(Histogram(10, 0), FatalError);
+    EXPECT_THROW(Histogram(0, 0), FatalError);
+}
+
+TEST(Histogram, ResetClearsCountsAndMax)
+{
+    Histogram h(10, 4);
+    h.sample(5);
+    h.sample(1000);
+    EXPECT_EQ(h.maxSample(), 1000u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.maxSample(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    h.sample(25);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.maxSample(), 25u);
+}
+
+TEST(Histogram, PercentilesOfUniformDistribution)
+{
+    // 100 samples 0..99 in width-1 buckets: percentiles are exact
+    // order statistics (rank ceil(q*n)).
+    Histogram h(1, 100);
+    for (unsigned v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_NEAR(h.p50(), 50.0, 1.0);
+    EXPECT_NEAR(h.p95(), 95.0, 1.0);
+    EXPECT_NEAR(h.p99(), 99.0, 1.0);
+    EXPECT_LE(h.percentile(0.0), 1.0);
+    EXPECT_NEAR(h.percentile(1.0), 100.0, 1.0);
+}
+
+TEST(Histogram, PercentilesOfSkewedDistribution)
+{
+    // 90 fast samples in [0,10) and 10 slow ones at 1000 (overflow):
+    // p50 is fast, p95/p99 report the overflow tail via the observed
+    // maximum.
+    Histogram h(10, 4);
+    for (unsigned i = 0; i < 90; ++i)
+        h.sample(i % 10);
+    for (unsigned i = 0; i < 10; ++i)
+        h.sample(1000);
+    EXPECT_LT(h.p50(), 10.0);
+    EXPECT_DOUBLE_EQ(h.p95(), 1000.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 1000.0);
+}
+
+TEST(Histogram, PercentileValidatesQuantile)
+{
+    Histogram h(1, 4);
+    h.sample(1);
+    EXPECT_THROW(h.percentile(-0.1), FatalError);
+    EXPECT_THROW(h.percentile(1.1), FatalError);
+    // An empty histogram has no order statistics.
+    Histogram empty(1, 4);
+    EXPECT_DOUBLE_EQ(empty.p50(), 0.0);
 }

@@ -178,6 +178,90 @@ TEST(TrafficEngine, NeverOverlapsFramesOnTheWire)
     EXPECT_EQ(eng.framesOffered(), 5000u);
 }
 
+// Regression for the frame-limit boundary: the limit used to be
+// checked at departure (emit) time, after link-busy deferral.  A frame
+// that arrived before the limit filled but was deferred behind another
+// flow's wire occupancy could lose the link to a frame that arrived
+// *later*, and then be silently discarded when its deferred emit
+// re-checked the limit.  The limit is an admission decision: it must
+// be taken in arrival order.
+//
+// Deterministic construction (all flows paced, fixed 1472 B payload,
+// wire time W = 1538 B * 800 ticks/B = 1230400 ticks): weights
+// 63:81:108 at offered rate 1.0 give per-flow mean gaps of 4W,
+// 28W/9 and 7W/3, and the paced phase stagger (meanGap * (i+1) / n)
+// puts the first arrivals at
+//
+//   flow 0:  4W/3           -> emits, link busy until 4W/3 + W = 7W/3
+//   flow 1:  56W/27         -> inside flow 0's occupancy, defers to 7W/3
+//   flow 2:  7W/3 (exactly) -> ties with flow 1's deferred emit; the
+//            arrival event was scheduled at start(), so it fires first
+//
+// With a frame limit of 2 the admitted arrivals are flow 0 and flow 1.
+// The old departure-time check instead let flow 2 (third to arrive)
+// take the second slot and dropped flow 1's deferred frame without a
+// trace: per-flow counts 1/0/1 and an emission *during* another
+// frame's admission window.  Arrival-order admission gives 1/1/0.
+TEST(TrafficEngine, FrameLimitAdmitsInArrivalOrderAcrossDeferral)
+{
+    constexpr Tick W = 1538 * 800; // wire time of a 1518 B frame
+    TrafficProfile p;
+    p.offeredRate = 1.0;
+    for (double w : {63.0, 81.0, 108.0}) {
+        FlowSpec f;
+        f.size = SizeModel::fixed(1472);
+        f.arrival = ArrivalModel::paced();
+        f.weight = w;
+        p.flows.push_back(f);
+    }
+
+    EventQueue eq;
+    std::vector<std::pair<Tick, std::uint32_t>> emits;
+    TrafficEngine eng(eq, p, [&](FrameData &&fd) {
+        std::uint32_t seq = 0, flow = 0;
+        unsigned len =
+            static_cast<unsigned>(fd.bytes.size()) - txHeaderBytes;
+        EXPECT_TRUE(peekPayload(fd.bytes.data() + txHeaderBytes, len,
+                                seq, flow));
+        emits.emplace_back(eq.curTick(), flow);
+        return true;
+    });
+    eng.setFrameLimit(2);
+    eng.start();
+    eq.run(); // must drain: no orphaned deferral events
+
+    EXPECT_EQ(eng.framesOffered(), 2u);
+    EXPECT_EQ(eng.flow(0).framesOffered.value(), 1u);
+    EXPECT_EQ(eng.flow(1).framesOffered.value(), 1u); // was 0 (dropped)
+    EXPECT_EQ(eng.flow(2).framesOffered.value(), 0u); // was 1 (usurped)
+
+    ASSERT_EQ(emits.size(), 2u);
+    EXPECT_EQ(emits[0].second, 0u);
+    EXPECT_EQ(emits[1].second, 1u);
+    // Flow 0 departs at its arrival (4W/3); flow 1's deferred frame
+    // departs the tick the link frees (7W/3).
+    EXPECT_EQ(emits[0].first, Tick{4 * W / 3});
+    EXPECT_EQ(emits[1].first, emits[0].first + W);
+}
+
+// The limit boundary under heavy contention: admission never
+// under-fills (every admitted arrival drains through deferral) and
+// never over-fills, and the event queue terminates.
+TEST(TrafficEngine, FrameLimitExactUnderContention)
+{
+    TrafficProfile p = TrafficProfile::imixPoisson(16, 1.0, 77);
+    EventQueue eq;
+    TrafficEngine eng(eq, p, [](FrameData &&) { return true; });
+    eng.setFrameLimit(257);
+    eng.start();
+    eq.run();
+    EXPECT_EQ(eng.framesOffered(), 257u);
+    std::uint64_t per_flow = 0;
+    for (std::size_t i = 0; i < eng.flowCount(); ++i)
+        per_flow += eng.flow(i).framesOffered.value();
+    EXPECT_EQ(per_flow, 257u);
+}
+
 TEST(TxSchedule, DeterministicAndInProfileBounds)
 {
     TrafficProfile p = TrafficProfile::bimodalRequestResponse(

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Validator for BENCH_*.json artifacts (tengig-bench-v1).
+ *
+ * Usage: bench_json_check <file> [<file>...]
+ *
+ * Checks each document structurally: it parses, carries the right
+ * schema tag, has a non-empty rows array, and every row has a name
+ * plus config/metrics objects whose standard NIC metrics (when
+ * present) are shaped correctly -- perCoreIpc is an array of numbers,
+ * the rxLatency summary has ordered percentiles, throughputs are
+ * finite and non-negative.  Exit code 0 when every file passes;
+ * the first failure prints a diagnostic and exits 1.
+ *
+ * Registered as a ctest smoke test (tools/CMakeLists.txt): the test
+ * runs a quick bench with --json and validates what it wrote, so a
+ * schema regression fails the suite, not a downstream dashboard.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_json.hh"
+#include "obs/json.hh"
+
+using namespace tengig::obs;
+
+namespace {
+
+bool
+fail(const std::string &path, const std::string &why)
+{
+    std::fprintf(stderr, "bench_json_check: %s: %s\n", path.c_str(),
+                 why.c_str());
+    return false;
+}
+
+/** Shape-check one metrics object (only the keys that are present). */
+bool
+checkMetrics(const std::string &path, const json::Value &m)
+{
+    for (const char *key : {"totalUdpGbps", "txUdpGbps", "rxUdpGbps",
+                            "txFps", "rxFps"}) {
+        if (const json::Value *v = m.find(key)) {
+            if (!v->isNumber() || v->asNumber() < 0.0)
+                return fail(path, std::string(key) +
+                                      " must be a non-negative number");
+        }
+    }
+    if (const json::Value *ipc = m.find("perCoreIpc")) {
+        if (!ipc->isArray())
+            return fail(path, "perCoreIpc must be an array");
+        for (const json::Value &v : ipc->asArray())
+            if (!v.isNumber())
+                return fail(path, "perCoreIpc entries must be numbers");
+    }
+    if (const json::Value *lat = m.find("rxLatency")) {
+        if (!lat->isObject())
+            return fail(path, "rxLatency must be an object");
+        for (const char *key :
+             {"count", "meanUs", "p50Us", "p95Us", "p99Us", "maxUs"}) {
+            const json::Value *v = lat->find(key);
+            if (!v || !v->isNumber())
+                return fail(path, std::string("rxLatency.") + key +
+                                      " missing or not a number");
+        }
+        double p50 = lat->at("p50Us").asNumber();
+        double p95 = lat->at("p95Us").asNumber();
+        double p99 = lat->at("p99Us").asNumber();
+        double mx = lat->at("maxUs").asNumber();
+        if (p50 > p95 || p95 > p99 || p99 > mx)
+            return fail(path,
+                        "rxLatency percentiles not ordered "
+                        "(p50 <= p95 <= p99 <= max)");
+    }
+    return true;
+}
+
+bool
+checkFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return fail(path, "cannot open");
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    std::string err;
+    auto doc = json::parse(buf.str(), &err);
+    if (!doc)
+        return fail(path, "invalid JSON: " + err);
+    if (!doc->isObject())
+        return fail(path, "top level is not an object");
+
+    const json::Value *schema = doc->find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != benchSchemaVersion)
+        return fail(path, std::string("schema tag missing or not '") +
+                              benchSchemaVersion + "'");
+    const json::Value *bench = doc->find("bench");
+    if (!bench || !bench->isString() || bench->asString().empty())
+        return fail(path, "bench name missing");
+
+    const json::Value *rows = doc->find("rows");
+    if (!rows || !rows->isArray())
+        return fail(path, "rows missing or not an array");
+    if (rows->size() == 0)
+        return fail(path, "rows is empty");
+
+    for (std::size_t i = 0; i < rows->size(); ++i) {
+        const json::Value &row = rows->at(i);
+        std::string where = path + " row " + std::to_string(i);
+        if (!row.isObject())
+            return fail(where, "row is not an object");
+        const json::Value *name = row.find("name");
+        if (!name || !name->isString() || name->asString().empty())
+            return fail(where, "row name missing");
+        const json::Value *config = row.find("config");
+        if (!config || !config->isObject())
+            return fail(where, "row config missing or not an object");
+        const json::Value *metrics = row.find("metrics");
+        if (!metrics || !metrics->isObject())
+            return fail(where, "row metrics missing or not an object");
+        if (!checkMetrics(where, *metrics))
+            return false;
+    }
+
+    std::printf("bench_json_check: %s: ok (%zu rows)\n", path.c_str(),
+                rows->size());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: bench_json_check <file> [<file>...]\n");
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i)
+        if (!checkFile(argv[i]))
+            return 1;
+    return 0;
+}

@@ -1,0 +1,26 @@
+# ctest driver for the BENCH_*.json smoke test: run a quick bench with
+# --json=<path>, then validate the artifact with bench_json_check.
+# Invoked from tools/CMakeLists.txt with BENCH_BIN, CHECK_BIN, WORK_DIR.
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(artifact "${WORK_DIR}/BENCH_mixed_traffic.json")
+file(REMOVE "${artifact}")
+
+execute_process(
+    COMMAND "${BENCH_BIN}" --quick "--json=${artifact}"
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR "bench exited with ${bench_rc}")
+endif()
+
+if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "bench did not write ${artifact}")
+endif()
+
+execute_process(
+    COMMAND "${CHECK_BIN}" "${artifact}"
+    RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR "bench_json_check rejected ${artifact}")
+endif()

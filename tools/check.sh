@@ -1,0 +1,33 @@
+#!/bin/sh
+# Tier-1 check wrapper: configure, build, and run the test suite.
+#
+# Usage:
+#   tools/check.sh            # full suite
+#   tools/check.sh --quick    # only tests labeled "quick"
+#   TENGIG_SANITIZE=ON tools/check.sh
+#                             # ASan+UBSan build in a separate tree
+#
+# Extra arguments after --quick are passed through to ctest
+# (e.g. tools/check.sh -R Traffic).
+
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+sanitize=${TENGIG_SANITIZE:-OFF}
+
+build="$repo/build"
+if [ "$sanitize" = "ON" ]; then
+    build="$repo/build-asan"
+fi
+
+ctest_args="--output-on-failure -j$(nproc)"
+if [ "${1:-}" = "--quick" ]; then
+    shift
+    ctest_args="$ctest_args -L quick"
+fi
+
+cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize"
+cmake --build "$build" -j"$(nproc)"
+cd "$build"
+# shellcheck disable=SC2086
+exec ctest $ctest_args "$@"
