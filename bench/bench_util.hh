@@ -6,8 +6,13 @@
 #ifndef TENGIG_BENCH_BENCH_UTIL_HH
 #define TENGIG_BENCH_BENCH_UTIL_HH
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "nic/controller.hh"
 #include "obs/bench_json.hh"
@@ -107,6 +112,60 @@ nicRunMetrics(const NicResults &r)
     m.set("sdramGbps", r.sdramGbps);
     m.set("imemGbps", r.imemGbps);
     return m;
+}
+
+/**
+ * Parse `--jobs=N` from the command line (sweep parallelism).
+ * Returns 1 (serial) when absent; 0 or garbage is clamped to 1.
+ */
+inline unsigned
+jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            long n = std::strtol(argv[i] + 7, nullptr, 10);
+            return n > 1 ? static_cast<unsigned>(n) : 1u;
+        }
+    }
+    return 1;
+}
+
+/**
+ * Run @p n independent sweep points, `fn(i) -> R`, across up to
+ * @p jobs worker threads, and return the results indexed by point.
+ *
+ * Each point builds its own NicController, so simulations share no
+ * mutable state (the only process-wide global is the atomic logging
+ * quiet flag) and every point produces the identical result it would
+ * in a serial sweep -- the caller prints from the returned vector, in
+ * order, after all points finish.  jobs <= 1 degenerates to a plain
+ * loop with no threads.
+ */
+template <typename Fn>
+auto
+runSweep(unsigned jobs, std::size_t n, Fn &&fn)
+    -> std::vector<decltype(fn(std::size_t{0}))>
+{
+    using R = decltype(fn(std::size_t{0}));
+    std::vector<R> out(n);
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = fn(i);
+        return out;
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (std::size_t i; (i = next.fetch_add(1)) < n;)
+            out[i] = fn(i);
+    };
+    std::vector<std::thread> pool;
+    std::size_t threads = std::min<std::size_t>(jobs, n);
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+    return out;
 }
 
 } // namespace bench

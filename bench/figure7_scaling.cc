@@ -13,7 +13,9 @@
  * tengig-bench-v1 document (one row per cores x MHz point, metrics
  * from bench::nicRunMetrics), default BENCH_figure7_scaling.json.
  * --quick shrinks the sweep and the measurement window for smoke
- * tests.
+ * tests.  --jobs=N runs the sweep points on N worker threads; every
+ * point is an isolated deterministic simulation, so the table and the
+ * JSON report are byte-identical to a serial sweep.
  */
 
 #include <cstdio>
@@ -46,6 +48,7 @@ main(int argc, char **argv)
                 "(duplex UDP Gb/s)");
 
     bool quick = obs::hasFlag(argc, argv, "--quick");
+    unsigned jobs = jobsFromArgs(argc, argv);
     Tick warmup = quick ? tickPerMs / 4 : warmupTicks;
     Tick window = quick ? tickPerMs / 2 : measureTicks;
 
@@ -57,6 +60,24 @@ main(int argc, char **argv)
               : std::vector<unsigned>{1, 2, 4, 6, 8};
     const double limit = 2 * lineRateUdpGbps(udpMaxPayloadBytes);
 
+    // Sweep points in table order, plus the paper's single-core anchor
+    // (line rate needs ~800 MHz) appended at the end.
+    struct Point { unsigned cores; double mhz; };
+    std::vector<Point> points;
+    for (double f : freqs)
+        for (unsigned c : core_counts)
+            points.push_back({c, f});
+    std::size_t grid = points.size();
+    const std::vector<double> anchor_mhz{400, 600, 800};
+    if (!quick)
+        for (double m : anchor_mhz)
+            points.push_back({1, m});
+
+    std::vector<NicResults> results = runSweep(
+        jobs, points.size(), [&](std::size_t i) {
+            return measure(points[i].cores, points[i].mhz, warmup, window);
+        });
+
     obs::BenchReport report("figure7_scaling");
 
     std::printf("%-10s", "MHz");
@@ -66,10 +87,11 @@ main(int argc, char **argv)
                 static_cast<int>(10 + 11 * core_counts.size()),
                 "-------------------------------------------------------"
                 "-----------");
+    std::size_t idx = 0;
     for (double f : freqs) {
         std::printf("%-10.0f", f);
         for (unsigned c : core_counts) {
-            NicResults r = measure(c, f, warmup, window);
+            const NicResults &r = results[idx++];
             std::printf(" %11.2f", r.totalUdpGbps);
             obs::json::Value cfg = obs::json::Value::object();
             cfg.set("cores", c);
@@ -84,12 +106,11 @@ main(int argc, char **argv)
     std::printf("%-10s %11.2f  <- Ethernet limit (duplex)\n", "", limit);
 
     if (!quick) {
-        // The paper's single-core anchor: line rate needs ~800 MHz.
         std::printf("\nSingle core at high frequency: 400 MHz -> %.2f, "
                     "600 MHz -> %.2f, 800 MHz -> %.2f Gb/s\n",
-                    measure(1, 400, warmup, window).totalUdpGbps,
-                    measure(1, 600, warmup, window).totalUdpGbps,
-                    measure(1, 800, warmup, window).totalUdpGbps);
+                    results[grid].totalUdpGbps,
+                    results[grid + 1].totalUdpGbps,
+                    results[grid + 2].totalUdpGbps);
     }
 
     if (auto path = obs::jsonPathFromArgs(argc, argv, "figure7_scaling")) {

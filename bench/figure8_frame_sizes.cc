@@ -9,6 +9,9 @@
  * frame rate (~2.2 M frames/s), with a visible gap around 800-byte
  * datagrams where the RMW configuration's slightly lower peak frame
  * rate shows.
+ *
+ * --jobs=N runs the sweep points on N worker threads (identical
+ * output; each point is an isolated deterministic simulation).
  */
 
 #include <cstdio>
@@ -36,12 +39,18 @@ runPoint(unsigned payload, bool rmw)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     printHeader("Figure 8: duplex throughput vs UDP datagram size");
 
-    const unsigned sizes[] = {18, 100, 200, 400, 600, 800, 1000, 1200,
-                              1472};
+    const std::vector<unsigned> sizes = {18, 100, 200, 400, 600, 800,
+                                         1000, 1200, 1472};
+    // Two runs (software-only, RMW-enhanced) per size, swept together.
+    std::vector<NicResults> results = runSweep(
+        jobsFromArgs(argc, argv), sizes.size() * 2, [&](std::size_t i) {
+            return runPoint(sizes[i / 2], i % 2 == 1);
+        });
+
     std::printf("%-8s | %8s | %13s | %13s | %10s | %10s\n", "UDP B",
                 "limit", "SW@200 Gb/s", "RMW@166 Gb/s", "SW Mf/s",
                 "RMW Mf/s");
@@ -50,9 +59,10 @@ main()
                 "--------------------");
 
     double sw_peak_fps = 0, rmw_peak_fps = 0;
-    for (unsigned p : sizes) {
-        NicResults sw = runPoint(p, false);
-        NicResults rmw = runPoint(p, true);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        unsigned p = sizes[i];
+        const NicResults &sw = results[i * 2];
+        const NicResults &rmw = results[i * 2 + 1];
         double sw_fps = (sw.txFps + sw.rxFps) / 1e6;
         double rmw_fps = (rmw.txFps + rmw.rxFps) / 1e6;
         sw_peak_fps = std::max(sw_peak_fps, sw_fps);

@@ -16,7 +16,9 @@
  * tengig-bench-v1 document (metrics from bench::nicRunMetrics,
  * including per-core IPC and the rx latency percentiles), default
  * BENCH_mixed_traffic.json.  --quick shrinks the flow count and the
- * measurement window so the ctest smoke test finishes fast.
+ * measurement window so the ctest smoke test finishes fast.  --jobs=N
+ * runs the workloads on N worker threads (identical output; each
+ * workload is an isolated deterministic simulation).
  */
 
 #include <cstdio>
@@ -72,9 +74,8 @@ addRow(obs::BenchReport &report, const char *name, const NicResults &r,
     report.addRow(name, std::move(cfg), nicRunMetrics(r));
 }
 
-void
-run(obs::BenchReport &report, const char *name, const SizeModel &size,
-    const ArrivalModel &arrival, const char *arrival_name)
+NicResults
+runMix(const SizeModel &size, const ArrivalModel &arrival)
 {
     NicConfig cfg;
     cfg.cores = 6;
@@ -85,16 +86,11 @@ run(obs::BenchReport &report, const char *name, const SizeModel &size,
     cfg.rxTraffic = TrafficProfile::uniform(flowsPerDirection(), size,
                                             arrival, 1.0, 0xbe7c);
     NicController nic(cfg);
-    NicResults r = nic.run(tickPerMs, measureWindow());
-
-    double limit = 2.0 * goodputLimitGbps(size);
-    printRow(name, r, limit);
-    addRow(report, name, r, limit, "mix", arrival_name);
+    return nic.run(tickPerMs, measureWindow());
 }
 
-void
-runFixedBaseline(obs::BenchReport &report, const char *name,
-                 unsigned payload)
+NicResults
+runFixed(unsigned payload)
 {
     NicConfig cfg;
     cfg.cores = 6;
@@ -102,12 +98,18 @@ runFixedBaseline(obs::BenchReport &report, const char *name,
     cfg.txPayloadBytes = payload;
     cfg.rxPayloadBytes = payload;
     NicController nic(cfg);
-    NicResults r = nic.run(tickPerMs, measureWindow());
-
-    double limit = 2.0 * lineRateUdpGbps(payload);
-    printRow(name, r, limit);
-    addRow(report, name, r, limit, "fixed", "paced");
+    return nic.run(tickPerMs, measureWindow());
 }
+
+/** One sweep point: how to simulate it and how to label the output. */
+struct Workload
+{
+    const char *name;
+    std::function<NicResults()> sim;
+    double limit;
+    const char *sizeModel;
+    const char *arrivalName;
+};
 
 } // namespace
 
@@ -116,6 +118,36 @@ main(int argc, char **argv)
 {
     quick = obs::hasFlag(argc, argv, "--quick");
 
+    std::vector<Workload> work;
+    auto fixed = [&](const char *name, unsigned payload) {
+        work.push_back({name, [payload] { return runFixed(payload); },
+                        2.0 * lineRateUdpGbps(payload), "fixed",
+                        "paced"});
+    };
+    auto mix = [&](const char *name, SizeModel size, ArrivalModel arrival,
+                   const char *arrival_name) {
+        work.push_back({name,
+                        [size, arrival] { return runMix(size, arrival); },
+                        2.0 * goodputLimitGbps(size), "mix",
+                        arrival_name});
+    };
+    fixed("fixed 1472 (paper)", 1472);
+    fixed("fixed 594-wire", 594 - framingOverheadBytes);
+    mix("bimodal 90/1472", SizeModel::bimodal(90, 1472, 0.5),
+        ArrivalModel::paced(), "paced");
+    mix("bimodal + poisson", SizeModel::bimodal(90, 1472, 0.5),
+        ArrivalModel::poisson(), "poisson");
+    if (!quick) {
+        mix("imix + poisson", SizeModel::imix(), ArrivalModel::poisson(),
+            "poisson");
+        mix("imix + on/off bursts", SizeModel::imix(),
+            ArrivalModel::onOff(0.25, 32.0), "onOff");
+    }
+
+    std::vector<NicResults> results = runSweep(
+        jobsFromArgs(argc, argv), work.size(),
+        [&](std::size_t i) { return work[i].sim(); });
+
     std::printf("Duplex goodput under mixed frame sizes "
                 "(%u flows/direction, 6 cores @ 200 MHz):\n\n",
                 flowsPerDirection());
@@ -123,18 +155,11 @@ main(int argc, char **argv)
                 "Gb/s", "limit", "of max", "frames/s", "errors");
 
     obs::BenchReport report("mixed_traffic");
-    runFixedBaseline(report, "fixed 1472 (paper)", 1472);
-    runFixedBaseline(report, "fixed 594-wire",
-                     594 - framingOverheadBytes);
-    run(report, "bimodal 90/1472", SizeModel::bimodal(90, 1472, 0.5),
-        ArrivalModel::paced(), "paced");
-    run(report, "bimodal + poisson", SizeModel::bimodal(90, 1472, 0.5),
-        ArrivalModel::poisson(), "poisson");
-    if (!quick) {
-        run(report, "imix + poisson", SizeModel::imix(),
-            ArrivalModel::poisson(), "poisson");
-        run(report, "imix + on/off bursts", SizeModel::imix(),
-            ArrivalModel::onOff(0.25, 32.0), "onOff");
+    for (std::size_t i = 0; i < work.size(); ++i) {
+        const Workload &w = work[i];
+        printRow(w.name, results[i], w.limit);
+        addRow(report, w.name, results[i], w.limit, w.sizeModel,
+               w.arrivalName);
     }
 
     if (auto path = obs::jsonPathFromArgs(argc, argv, "mixed_traffic")) {

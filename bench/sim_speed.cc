@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Simulator-speed microbench: host-side event throughput per config.
+ *
+ * Every figure/table reproduction funnels through the one
+ * discrete-event kernel, so its host-side throughput bounds how large
+ * a parameter sweep is affordable.  This bench times representative
+ * NIC configurations and reports host events/sec and simulated
+ * Mticks/sec (1 Mtick = 1 µs of simulated time) per config, writing a
+ * tengig-bench-v1 document (default BENCH_sim_speed.json) that seeds
+ * the simulator-performance trajectory.
+ *
+ * Wall-clock numbers are machine-dependent by nature; the committed
+ * artifact is meaningful as a ratio against its predecessor on the
+ * same machine, not as an absolute.
+ *
+ * --quick shrinks the windows for smoke tests; --json[=path] writes
+ * the report.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace tengig;
+using namespace tengig::bench;
+
+namespace {
+
+struct SpeedPoint
+{
+    std::string name;       //!< row label
+    std::string workload;   //!< "duplex" or "rx-light"
+    unsigned cores;
+    double cpuMhz;
+    bool taskLevel;
+    bool idleSleep;
+};
+
+struct SpeedResult
+{
+    double wallMs = 0.0;
+    std::uint64_t executedEvents = 0;
+    Tick simTicks = 0;
+    double eventsPerSec = 0.0;
+    double simMticksPerSec = 0.0;
+    double totalUdpGbps = 0.0;
+    std::uint64_t frames = 0;
+};
+
+SpeedResult
+measure(const SpeedPoint &p, bool quick)
+{
+    NicConfig cfg;
+    cfg.cores = p.cores;
+    cfg.cpuMhz = p.cpuMhz;
+    cfg.taskLevelFirmware = p.taskLevel;
+    cfg.idleSleep = p.idleSleep;
+
+    SpeedResult r;
+    if (p.workload == "rx-light") {
+        // Low receive load with long quiescent gaps between frames:
+        // the workload where idle-core sleep pays.
+        cfg.rxOfferedRate = 0.02;
+        NicController nic(cfg);
+        unsigned frames = quick ? 20 : 120;
+        Tick limit = (quick ? 4 : 16) * tickPerMs;
+        auto t0 = std::chrono::steady_clock::now();
+        NicResults res = nic.runRxOnly(frames, limit);
+        auto t1 = std::chrono::steady_clock::now();
+        r.wallMs = std::chrono::duration<double, std::milli>(t1 - t0)
+                       .count();
+        r.executedEvents = nic.eventQueue().executedEvents();
+        r.simTicks = nic.eventQueue().curTick();
+        r.totalUdpGbps = res.totalUdpGbps;
+        r.frames = res.rxFrames;
+    } else {
+        NicController nic(cfg);
+        Tick warmup = quick ? tickPerMs / 4 : tickPerMs / 2;
+        Tick window = quick ? tickPerMs / 2 : 2 * tickPerMs;
+        auto t0 = std::chrono::steady_clock::now();
+        NicResults res = nic.run(warmup, window);
+        auto t1 = std::chrono::steady_clock::now();
+        r.wallMs = std::chrono::duration<double, std::milli>(t1 - t0)
+                       .count();
+        r.executedEvents = nic.eventQueue().executedEvents();
+        r.simTicks = nic.eventQueue().curTick();
+        r.totalUdpGbps = res.totalUdpGbps;
+        r.frames = res.txFrames + res.rxFrames;
+    }
+    double wall_s = r.wallMs / 1e3;
+    if (wall_s > 0) {
+        r.eventsPerSec = static_cast<double>(r.executedEvents) / wall_s;
+        r.simMticksPerSec =
+            static_cast<double>(r.simTicks) / 1e6 / wall_s;
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printHeader("Simulator speed: host event throughput per config");
+
+    bool quick = obs::hasFlag(argc, argv, "--quick");
+
+    std::vector<SpeedPoint> points = {
+        {"duplex 6c 200MHz (default)", "duplex", 6, 200, false, false},
+        {"duplex 2c 200MHz", "duplex", 2, 200, false, false},
+        {"duplex 6c 200MHz task-level", "duplex", 6, 200, true, false},
+        {"rx-light 1c 200MHz", "rx-light", 1, 200, false, false},
+        {"rx-light 1c 200MHz +sleep", "rx-light", 1, 200, false, true},
+    };
+
+    obs::BenchReport report("sim_speed");
+    std::printf("%-30s %12s %12s %10s %8s\n", "config", "events/s",
+                "Mticks/s", "events", "wall ms");
+    std::printf("%.*s\n", 76,
+                "----------------------------------------------------"
+                "------------------------");
+    for (const SpeedPoint &p : points) {
+        SpeedResult r = measure(p, quick);
+        std::printf("%-30s %12.0f %12.2f %10llu %8.1f\n",
+                    p.name.c_str(), r.eventsPerSec, r.simMticksPerSec,
+                    static_cast<unsigned long long>(r.executedEvents),
+                    r.wallMs);
+
+        obs::json::Value cfg = obs::json::Value::object();
+        cfg.set("workload", p.workload);
+        cfg.set("cores", p.cores);
+        cfg.set("cpuMhz", p.cpuMhz);
+        cfg.set("taskLevelFirmware", p.taskLevel);
+        cfg.set("idleSleep", p.idleSleep);
+
+        obs::json::Value m = obs::json::Value::object();
+        m.set("hostEventsPerSec", r.eventsPerSec);
+        m.set("simMticksPerSec", r.simMticksPerSec);
+        m.set("executedEvents", r.executedEvents);
+        m.set("wallMs", r.wallMs);
+        m.set("totalUdpGbps", r.totalUdpGbps);
+        m.set("frames", r.frames);
+        report.addRow(p.name, std::move(cfg), std::move(m));
+    }
+
+    if (auto path = obs::jsonPathFromArgs(argc, argv, "sim_speed")) {
+        report.write(*path);
+        std::printf("\nwrote %s (%zu rows)\n", path->c_str(),
+                    report.rows());
+    }
+    return 0;
+}

@@ -88,31 +88,43 @@ void
 DmaAssist::spadWordLoop(Addr host_addr, Addr local, std::size_t remaining,
                         bool to_spad)
 {
-    if (remaining == 0) {
+    curHost = host_addr;
+    curLocal = local;
+    curRemaining = remaining;
+    curToSpad = to_spad;
+    spadWordStep();
+}
+
+void
+DmaAssist::spadWordStep()
+{
+    if (curRemaining == 0) {
         finishCurrent();
         return;
     }
-    std::size_t chunk = std::min<std::size_t>(4, remaining);
-    if (to_spad) {
+    std::size_t chunk = std::min<std::size_t>(4, curRemaining);
+    if (curToSpad) {
         // Move the word functionally now (DES events are atomic) and
         // charge the crossbar write.
         std::uint32_t word = 0;
-        host.read(host_addr, &word, chunk);
-        spad.storage().storeWord(local, word);
-        spad.access(spadRequester, local, SpadOp::WriteTiming, 0,
-                    [this, host_addr, local, remaining, chunk,
-                     to_spad](const Scratchpad::Response &) {
-                        spadWordLoop(host_addr + chunk, local + chunk,
-                                     remaining - chunk, to_spad);
+        host.read(curHost, &word, chunk);
+        spad.storage().storeWord(curLocal, word);
+        curHost += chunk;
+        curLocal += chunk;
+        curRemaining -= chunk;
+        spad.access(spadRequester, curLocal - chunk, SpadOp::WriteTiming,
+                    0, [this](const Scratchpad::Response &) {
+                        spadWordStep();
                     });
     } else {
-        std::uint32_t word = spad.storage().loadWord(local);
-        host.write(host_addr, &word, chunk);
-        spad.access(spadRequester, local, SpadOp::Read, 0,
-                    [this, host_addr, local, remaining, chunk,
-                     to_spad](const Scratchpad::Response &) {
-                        spadWordLoop(host_addr + chunk, local + chunk,
-                                     remaining - chunk, to_spad);
+        std::uint32_t word = spad.storage().loadWord(curLocal);
+        host.write(curHost, &word, chunk);
+        curHost += chunk;
+        curLocal += chunk;
+        curRemaining -= chunk;
+        spad.access(spadRequester, curLocal - chunk, SpadOp::Read, 0,
+                    [this](const Scratchpad::Response &) {
+                        spadWordStep();
                     });
     }
 }

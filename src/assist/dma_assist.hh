@@ -90,6 +90,7 @@ class DmaAssist : public Clocked
     void finishCurrent();
     void spadWordLoop(Addr host, Addr local, std::size_t remaining,
                       bool to_spad);
+    void spadWordStep();
 
     Scratchpad &spad;
     GddrSdram &sdram;
@@ -100,6 +101,15 @@ class DmaAssist : public Clocked
 
     std::deque<DmaCommand> queue;
     bool busy = false;
+    /// @name Active scratchpad word-loop cursor
+    /// Progress lives here rather than in per-word closures, so each
+    /// word's crossbar callback captures only `this`.
+    /// @{
+    Addr curHost = 0;
+    Addr curLocal = 0;
+    std::size_t curRemaining = 0;
+    bool curToSpad = false;
+    /// @}
     unsigned traceLane = 0xffffffffu; //!< obs::noTraceLane
     Tick cmdStart = 0;                //!< start tick of the active command
 

@@ -44,10 +44,17 @@ MacTx::tryFetch()
     ++fetching;
     Addr addr = cmd.sdramAddr;
     unsigned len = cmd.lenBytes;
+    fetchInFlight.push_back(std::move(cmd));
     sdram.request(sdramRequester, addr, len, false,
-                  [this, cmd = std::move(cmd)]() mutable {
-                      enqueueWire(std::move(cmd));
-                  });
+                  [this] { fetchDone(); });
+}
+
+void
+MacTx::fetchDone()
+{
+    Command cmd = std::move(fetchInFlight.front());
+    fetchInFlight.pop_front();
+    enqueueWire(std::move(cmd));
 }
 
 void
@@ -68,19 +75,26 @@ MacTx::enqueueWire(Command cmd)
                     start, end - start, "mac");
     }
 
-    eventQueue().schedule(end, [this, cmd = std::move(cmd),
-                                frame]() mutable {
-        std::vector<std::uint8_t> bytes(cmd.lenBytes);
-        sdram.readBytes(cmd.sdramAddr, bytes.data(), cmd.lenBytes);
-        deliver(bytes.data(), cmd.lenBytes);
-        ++frames;
-        frameBytes += frame;
-        wireBytes += wireBytesForFrame(frame);
-        --fetching;
-        if (cmd.done)
-            cmd.done();
-        tryFetch();
-    }, EventPriority::HardwareProgress);
+    onWire.push_back(WireEntry{std::move(cmd), frame});
+    eventQueue().schedule(end, [this] { wireDone(); },
+                          EventPriority::HardwareProgress);
+}
+
+void
+MacTx::wireDone()
+{
+    WireEntry e = std::move(onWire.front());
+    onWire.pop_front();
+    std::vector<std::uint8_t> bytes(e.cmd.lenBytes);
+    sdram.readBytes(e.cmd.sdramAddr, bytes.data(), e.cmd.lenBytes);
+    deliver(bytes.data(), e.cmd.lenBytes);
+    ++frames;
+    frameBytes += e.frame;
+    wireBytes += wireBytesForFrame(e.frame);
+    --fetching;
+    if (e.cmd.done)
+        e.cmd.done();
+    tryFetch();
 }
 
 MacRx::MacRx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram_,

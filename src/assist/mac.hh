@@ -84,7 +84,9 @@ class MacTx : public Clocked
 
   private:
     void tryFetch();
+    void fetchDone();
     void enqueueWire(Command cmd);
+    void wireDone();
 
     GddrSdram &sdram;
     Deliver deliver;
@@ -92,6 +94,20 @@ class MacTx : public Clocked
     unsigned fifoDepth;
 
     std::deque<Command> queue;
+    /// @name In-flight frame state
+    /// Frames awaiting SDRAM fetch and frames serializing onto the wire
+    /// live in member queues, so the bus/event callbacks capture only
+    /// `this`.  Both stages complete strictly in issue order: the SDRAM
+    /// bus is per-requester FIFO and wire end times are monotonic.
+    /// @{
+    std::deque<Command> fetchInFlight;
+    struct WireEntry
+    {
+        Command cmd;
+        unsigned frame; //!< CRC-inclusive on-wire frame bytes
+    };
+    std::deque<WireEntry> onWire;
+    /// @}
     unsigned fetching = 0;       //!< frames being read from SDRAM
     static constexpr unsigned maxBuffered = 2;
     Tick wireBusyUntil = 0;
@@ -134,6 +150,9 @@ class MacRx : public Clocked
 
     std::uint64_t framesStored() const { return frames.value(); }
     std::uint64_t framesDropped() const { return drops.value(); }
+
+    /** Frames currently being written to SDRAM (idle-sleep park gate). */
+    unsigned storingCount() const { return storing; }
 
     /** Register counters into the owner's stat tree (src/obs). */
     void registerStats(obs::StatGroup &g) const;

@@ -46,10 +46,10 @@ EventRegisterDispatcher::service(OpRecorder &rec, unsigned core_id,
     return any;
 }
 
-OpList
-EventRegisterDispatcher::next(unsigned core_id)
+void
+EventRegisterDispatcher::next(unsigned core_id, OpList &out)
 {
-    OpRecorder rec(FuncTag::Idle);
+    OpRecorder rec(out, FuncTag::Idle);
 
     // A processor that owns a type keeps draining it (no other core
     // may touch that type meanwhile).
@@ -60,9 +60,8 @@ EventRegisterDispatcher::next(unsigned core_id)
         rec.load(eventRegAddr);
         rec.alu(cal::dispatchCheckAlu);
         service(rec, core_id, ti);
-        OpList list = rec.take();
         ++found;
-        return list;
+        return;
     }
 
     // Read the event register (one load: the hardware maintains the
@@ -87,16 +86,36 @@ EventRegisterDispatcher::next(unsigned core_id)
         service(rec, core_id, ti);
     }
 
-    OpList list = rec.take();
     if (!worked) {
-        for (auto &op : list.ops)
+        for (auto &op : out.ops)
             op.tag = FuncTag::Idle;
-        list.idlePoll = true;
+        out.idlePoll = true;
         ++idle;
     } else {
         ++found;
     }
-    return list;
+}
+
+bool
+EventRegisterDispatcher::canPark(unsigned core_id) const
+{
+    if (owned[core_id] >= 0)
+        return false;
+    if (!tasks.quiescent())
+        return false;
+    for (const EventType &t : types)
+        if (!t.busy && (tasks.*(t.ready))())
+            return false;
+    return true;
+}
+
+void
+EventRegisterDispatcher::notifyVirtualPolls(unsigned core_id,
+                                            std::uint64_t n)
+{
+    (void)core_id;
+    rotate += static_cast<unsigned>(n);
+    idle += n;
 }
 
 } // namespace tengig

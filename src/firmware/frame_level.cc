@@ -28,10 +28,10 @@ FrameLevelDispatcher::FrameLevelDispatcher(FwTasks &tasks_)
     };
 }
 
-OpList
-FrameLevelDispatcher::next(unsigned core_id)
+void
+FrameLevelDispatcher::next(unsigned core_id, OpList &out)
 {
-    OpRecorder rec(FuncTag::Idle);
+    OpRecorder rec(out, FuncTag::Idle);
     // Rotate the scan start point so cores do not converge on the same
     // queue, and so successive polls by one core cover all sources.
     unsigned start = (core_id + rotate++) % checks.size();
@@ -47,17 +47,38 @@ FrameLevelDispatcher::next(unsigned core_id)
             worked = (tasks.*(c.run))(rec);
     }
 
-    OpList list = rec.take();
     if (!worked) {
         // Nothing anywhere: the whole pass was an idle poll.
-        for (auto &op : list.ops)
+        for (auto &op : out.ops)
             op.tag = FuncTag::Idle;
-        list.idlePoll = true;
+        out.idlePoll = true;
         ++idle;
     } else {
         ++found;
     }
-    return list;
+}
+
+bool
+FrameLevelDispatcher::canPark(unsigned core_id) const
+{
+    (void)core_id;
+    if (!tasks.quiescent())
+        return false;
+    for (const Check &c : checks)
+        if ((tasks.*(c.ready))())
+            return false;
+    return true;
+}
+
+void
+FrameLevelDispatcher::notifyVirtualPolls(unsigned core_id,
+                                         std::uint64_t n)
+{
+    (void)core_id;
+    // Each skipped poll would have bumped the rotation and the idle
+    // counter; unsigned wraparound matches n repeated rotate++ calls.
+    rotate += static_cast<unsigned>(n);
+    idle += n;
 }
 
 } // namespace tengig

@@ -82,6 +82,18 @@ class FwTasks
     /** True when the whole TX+RX pipeline is drained (for tests). */
     bool quiescent() const;
 
+    /**
+     * Hook fired whenever outside work arrives or progresses (host
+     * doorbells and hardware counter writes) -- everything that can
+     * flip a dispatch-check predicate.  The controller uses it to wake
+     * parked cores (DESIGN.md §10).
+     */
+    void
+    setOnWorkArrival(std::function<void()> fn)
+    {
+        onWorkArrival = std::move(fn);
+    }
+
   private:
     /// @name Lock helpers
     /// @{
@@ -135,6 +147,7 @@ class FwTasks
     Addr txBufSdram;
     Addr rxBufSdram;
     AssistIds ids;
+    std::function<void()> onWorkArrival;
 };
 
 } // namespace tengig

@@ -18,14 +18,19 @@ ICache::ICache(InstructionMemory &imem_, std::size_t capacity,
     fatal_if(numSets == 0 || (numSets & (numSets - 1)),
              "icache set count must be a power of two");
     lines.resize(num_lines);
+    while ((1u << lineShiftBits) < lineBytes)
+        ++lineShiftBits;
+    while ((1u << setShiftBits) < numSets)
+        ++setShiftBits;
+    setMask = numSets - 1;
 }
 
 Tick
 ICache::lookup(Addr pc, Tick now)
 {
-    Addr line_addr = pc / lineBytes;
-    unsigned set = static_cast<unsigned>(line_addr % numSets);
-    Addr tag = line_addr / numSets;
+    Addr line_addr = pc >> lineShiftBits;
+    unsigned set = static_cast<unsigned>(line_addr & setMask);
+    Addr tag = line_addr >> setShiftBits;
     Line *base = &lines[static_cast<std::size_t>(set) * ways];
 
     ++useClock;
@@ -59,9 +64,9 @@ ICache::lookup(Addr pc, Tick now)
 bool
 ICache::probe(Addr pc) const
 {
-    Addr line_addr = pc / lineBytes;
-    unsigned set = static_cast<unsigned>(line_addr % numSets);
-    Addr tag = line_addr / numSets;
+    Addr line_addr = pc >> lineShiftBits;
+    unsigned set = static_cast<unsigned>(line_addr & setMask);
+    Addr tag = line_addr >> setShiftBits;
     const Line *base = &lines[static_cast<std::size_t>(set) * ways];
     for (unsigned w = 0; w < ways; ++w)
         if (base[w].valid && base[w].tag == tag)

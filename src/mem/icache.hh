@@ -131,6 +131,9 @@ class ICache
 
     unsigned lineSize() const { return lineBytes; }
 
+    /** log2(lineSize()); line size is enforced to be a power of two. */
+    unsigned lineShift() const { return lineShiftBits; }
+
     std::uint64_t hits() const { return hitCount.value(); }
     std::uint64_t misses() const { return missCount.value(); }
 
@@ -160,6 +163,11 @@ class ICache
     unsigned lineBytes;
     unsigned numSets;
     unsigned ways;
+    // Line size and set count are enforced powers of two, so the hot
+    // set/tag decomposition is shifts and masks, not divisions.
+    unsigned lineShiftBits = 0;
+    unsigned setShiftBits = 0;
+    Addr setMask = 0;
     std::vector<Line> lines; // sets * ways
     std::uint64_t useClock = 0;
 

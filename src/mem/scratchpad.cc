@@ -70,21 +70,23 @@ Scratchpad::serviceBank(unsigned b)
         return;
 
     // Round-robin among requesters with pending work in this bank: scan
-    // requester ids starting at rrNext and grant the first match.
+    // requester ids starting at rrNext and grant the first match.  A
+    // lone request (the overwhelmingly common case) needs no scan --
+    // every priority order grants it.
     std::size_t pick = 0;
-    bool found = false;
-    for (unsigned step = 0; step < numRequesters && !found; ++step) {
-        unsigned want = (bank.rrNext + step) % numRequesters;
-        for (std::size_t i = 0; i < bank.queue.size(); ++i) {
-            if (bank.queue[i].requester == want) {
-                pick = i;
-                found = true;
-                break;
+    if (bank.queue.size() > 1) {
+        bool found = false;
+        for (unsigned step = 0; step < numRequesters && !found; ++step) {
+            unsigned want = (bank.rrNext + step) % numRequesters;
+            for (std::size_t i = 0; i < bank.queue.size(); ++i) {
+                if (bank.queue[i].requester == want) {
+                    pick = i;
+                    found = true;
+                    break;
+                }
             }
         }
     }
-    if (!found)
-        pick = 0; // all requesters scanned; take FIFO head
 
     Request req = std::move(bank.queue[pick]);
     bank.queue.erase(bank.queue.begin() +

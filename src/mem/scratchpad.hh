@@ -21,7 +21,6 @@
 #ifndef TENGIG_MEM_SCRATCHPAD_HH
 #define TENGIG_MEM_SCRATCHPAD_HH
 
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -142,7 +141,9 @@ class Scratchpad : public Clocked
 
     struct Bank
     {
-        std::deque<Request> queue;
+        /// Pending requests; a vector because queues stay shallow (a
+        /// handful of requesters) and the grant scan walks it anyway.
+        std::vector<Request> queue;
         unsigned rrNext = 0;      //!< round-robin pointer over requesters
         bool serviceScheduled = false;
         Cycles nextFree = 0;      //!< earliest cycle the next grant may run

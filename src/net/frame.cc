@@ -33,10 +33,28 @@ fillPayload(std::uint8_t *payload, unsigned len, std::uint32_t seq,
     panic_if(flow > maxFlowId, "flow id out of range: ", flow);
     unsigned pattern_len = len - headerWords * 4;
     std::uint8_t *pattern = payload + headerWords * 4;
-    // Deterministic pattern derived from the flow and sequence number.
+    // Deterministic pattern derived from the flow and sequence number:
+    // an LCG (a = 1664525, c = 1013904223) emitting the top byte per
+    // step.  The recurrence is strictly sequential, so jump ahead four
+    // steps at a time with precomputed composite constants -- the four
+    // multiplies per iteration are independent and pipeline, and the
+    // byte stream is identical to the one-step loop.
+    constexpr std::uint32_t a1 = 1664525u, c1 = 1013904223u;
+    constexpr std::uint32_t a2 = a1 * a1, c2 = c1 * (a1 + 1u);
+    constexpr std::uint32_t a3 = a1 * a2, c3 = c1 * (a2 + a1 + 1u);
+    constexpr std::uint32_t a4 = a1 * a3, c4 = c1 * (a3 + a2 + a1 + 1u);
     std::uint32_t x = (seq + flow * 40503u) * 2654435761u + 12345u;
-    for (unsigned i = 0; i < pattern_len; ++i) {
-        x = x * 1664525u + 1013904223u;
+    unsigned i = 0;
+    for (; i + 4 <= pattern_len; i += 4) {
+        pattern[i] = static_cast<std::uint8_t>((a1 * x + c1) >> 24);
+        pattern[i + 1] = static_cast<std::uint8_t>((a2 * x + c2) >> 24);
+        pattern[i + 2] = static_cast<std::uint8_t>((a3 * x + c3) >> 24);
+        std::uint32_t next = a4 * x + c4;
+        pattern[i + 3] = static_cast<std::uint8_t>(next >> 24);
+        x = next;
+    }
+    for (; i < pattern_len; ++i) {
+        x = x * a1 + c1;
         pattern[i] = static_cast<std::uint8_t>(x >> 24);
     }
     std::uint32_t hash = patternHash(pattern, pattern_len);

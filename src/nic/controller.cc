@@ -156,7 +156,29 @@ NicController::build()
                                                profile));
     }
 
+    if (cfg.idleSleep) {
+        // Everything that can flip a dispatch predicate wakes parked
+        // cores; frame arrivals wake them in rxArrived() before any
+        // memory-system activity for the frame begins.  Parking is
+        // additionally vetoed while the receive MAC is mid-store.
+        tasks->setOnWorkArrival([this] { wakeCores(); });
+        for (auto &c : cores) {
+            c->enableIdleSleep(
+                [this] { return macRx->storingCount() == 0; });
+        }
+    }
+
+    occEvent.init(eq, [this] { occupancySample(); },
+                  EventPriority::Stats);
+
     registerAllStats();
+}
+
+void
+NicController::wakeCores()
+{
+    for (auto &c : cores)
+        c->wake();
 }
 
 bool
@@ -172,6 +194,11 @@ NicController::rxArrived(FrameData &&fd)
                         txHeaderBytes,
                     seq, flow);
     Tick now = eq.curTick();
+    if (cfg.idleSleep) {
+        // Wake before the MAC touches any memory for this frame, so
+        // the parked window stays provably contention-free.
+        wakeCores();
+    }
     bool accepted = macRx->frameArrived(std::move(fd));
     if (accepted && tagged) {
         rxInFlight[(static_cast<std::uint64_t>(flow) << 32) | seq] =
@@ -339,30 +366,34 @@ NicController::attachTrace(obs::TraceLog &t)
 void
 NicController::scheduleOccupancySample()
 {
-    eq.scheduleIn(tickPerUs, [this] {
-        obs::TraceLog *t = eq.traceLog();
-        if (!t)
-            return; // detached: stop sampling
-        if (t->enabled()) {
-            Tick now = eq.curTick();
-            std::uint64_t acc = spad->totalAccesses();
-            // A stats reset between samples makes the counter regress;
-            // emit a zero-delta sample and resynchronize.
-            double d_acc = acc >= occSpadPrev
-                ? static_cast<double>(acc - occSpadPrev) : 0.0;
-            occSpadPrev = acc;
-            t->counterSample(occLane, "spad grants/us", now, d_acc);
+    occEvent.scheduleIn(tickPerUs);
+}
 
-            std::uint64_t busy = ram->busyTickCount();
-            double d_busy = busy >= occSdramBusyPrev
-                ? static_cast<double>(busy - occSdramBusyPrev) : 0.0;
-            occSdramBusyPrev = busy;
-            t->counterSample(occLane, "sdram bus busy %", now,
-                             100.0 * d_busy /
-                                 static_cast<double>(tickPerUs));
-        }
-        scheduleOccupancySample();
-    }, EventPriority::Stats);
+void
+NicController::occupancySample()
+{
+    obs::TraceLog *t = eq.traceLog();
+    if (!t)
+        return; // detached: stop sampling
+    if (t->enabled()) {
+        Tick now = eq.curTick();
+        std::uint64_t acc = spad->totalAccesses();
+        // A stats reset between samples makes the counter regress;
+        // emit a zero-delta sample and resynchronize.
+        double d_acc = acc >= occSpadPrev
+            ? static_cast<double>(acc - occSpadPrev) : 0.0;
+        occSpadPrev = acc;
+        t->counterSample(occLane, "spad grants/us", now, d_acc);
+
+        std::uint64_t busy = ram->busyTickCount();
+        double d_busy = busy >= occSdramBusyPrev
+            ? static_cast<double>(busy - occSdramBusyPrev) : 0.0;
+        occSdramBusyPrev = busy;
+        t->counterSample(occLane, "sdram bus busy %", now,
+                         100.0 * d_busy /
+                             static_cast<double>(tickPerUs));
+    }
+    scheduleOccupancySample();
 }
 
 void

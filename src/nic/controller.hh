@@ -170,6 +170,8 @@ class NicController
     void registerAllStats();
     bool rxArrived(FrameData &&fd);
     void scheduleOccupancySample();
+    void occupancySample();
+    void wakeCores();
     void startCores();
     void stopCores();
     NicResults collect(Tick measured, std::uint64_t tx0_frames,
@@ -231,6 +233,7 @@ class NicController
     unsigned occLane = obs::noTraceLane;
     std::uint64_t occSpadPrev = 0;
     std::uint64_t occSdramBusyPrev = 0;
+    RecurringEvent occEvent;
     /// @}
 };
 

@@ -35,6 +35,18 @@ struct NicConfig
     bool taskLevelFirmware = false; //!< event-register baseline
     /// @}
 
+    /**
+     * Host-simulator acceleration: cores whose polls have reached a
+     * provably steady idle pattern park instead of scheduling one event
+     * per poll, and are woken by doorbells/assist completions.  Purely
+     * a simulation-speed knob; see DESIGN.md §10 for the exactness
+     * contract (single-core quiescent stretches replay bit-identically,
+     * multi-core runs stay deterministic but may skip idle-phase
+     * crossbar contention).  Off by default so every figure reproduces
+     * the always-polling timing exactly.
+     */
+    bool idleSleep = false;
+
     /// @name Workload
     /// @{
     unsigned txPayloadBytes = udpMaxPayloadBytes;

@@ -81,6 +81,14 @@ struct OpList
 
     bool empty() const { return ops.empty(); }
     std::size_t size() const { return ops.size(); }
+
+    /** Reset for reuse, keeping the vector's capacity. */
+    void
+    clear()
+    {
+        ops.clear();
+        idlePoll = false;
+    }
 };
 
 /**
@@ -89,7 +97,20 @@ struct OpList
 class OpRecorder
 {
   public:
-    explicit OpRecorder(FuncTag initial = FuncTag::Idle) : cur(initial) {}
+    explicit OpRecorder(FuncTag initial = FuncTag::Idle)
+        : list(&owned), cur(initial)
+    {}
+
+    /**
+     * Record into @p target instead of an internal list.  @p target is
+     * cleared first; its vector capacity is reused, so per-poll
+     * recording does not allocate in steady state.
+     */
+    OpRecorder(OpList &target, FuncTag initial)
+        : list(&target), cur(initial)
+    {
+        target.clear();
+    }
 
     /** Switch the accounting bucket for subsequent ops. */
     void tag(FuncTag t) { cur = t; }
@@ -103,8 +124,8 @@ class OpRecorder
             return;
         // Merge with a preceding Alu op in the same bucket to keep the
         // replayed stream compact.
-        if (!list.ops.empty()) {
-            MicroOp &back = list.ops.back();
+        if (!list->ops.empty()) {
+            MicroOp &back = list->ops.back();
             if (back.kind == OpKind::Alu && back.tag == cur &&
                 back.count + n < 0xffff && back.hazard + hazard_cycles <
                 0xffff) {
@@ -119,7 +140,7 @@ class OpRecorder
         op.tag = cur;
         op.count = static_cast<std::uint16_t>(n);
         op.hazard = static_cast<std::uint16_t>(hazard_cycles);
-        list.ops.push_back(std::move(op));
+        list->ops.push_back(std::move(op));
     }
 
     void
@@ -129,7 +150,7 @@ class OpRecorder
         op.kind = OpKind::MemRead;
         op.tag = cur;
         op.addr = addr;
-        list.ops.push_back(std::move(op));
+        list->ops.push_back(std::move(op));
     }
 
     void
@@ -139,7 +160,7 @@ class OpRecorder
         op.kind = OpKind::MemWrite;
         op.tag = cur;
         op.addr = addr;
-        list.ops.push_back(std::move(op));
+        list->ops.push_back(std::move(op));
     }
 
     void
@@ -149,7 +170,7 @@ class OpRecorder
         op.kind = OpKind::MemRmw;
         op.tag = cur;
         op.addr = addr;
-        list.ops.push_back(std::move(op));
+        list->ops.push_back(std::move(op));
     }
 
     /** Closure executed when the replay reaches this point. */
@@ -160,14 +181,15 @@ class OpRecorder
         op.kind = OpKind::Action;
         op.tag = cur;
         op.action = std::move(fn);
-        list.ops.push_back(std::move(op));
+        list->ops.push_back(std::move(op));
     }
 
-    OpList take() { return std::move(list); }
-    bool empty() const { return list.ops.empty(); }
+    OpList take() { return std::move(*list); }
+    bool empty() const { return list->ops.empty(); }
 
   private:
-    OpList list;
+    OpList owned;
+    OpList *list;
     FuncTag cur;
 };
 

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "sim/event_queue.hh"
+#include "sim/fast_div.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -34,6 +35,7 @@ class ClockDomain
         : _name(std::move(name)), _period(period)
     {
         fatal_if(period == 0, "clock domain '", _name, "' with zero period");
+        _div.init(period);
     }
 
     const std::string &name() const { return _name; }
@@ -44,7 +46,7 @@ class ClockDomain
     Tick edge(Cycles n) const { return n * _period; }
 
     /** Cycle index of the most recent edge at or before @p t. */
-    Cycles cycleAt(Tick t) const { return t / _period; }
+    Cycles cycleAt(Tick t) const { return _div.divide(t); }
 
     /**
      * First edge at or after @p t (a request arriving mid-cycle is
@@ -53,11 +55,15 @@ class ClockDomain
     Tick
     nextEdgeAtOrAfter(Tick t) const
     {
-        return ((t + _period - 1) / _period) * _period;
+        return _div.divide(t + _period - 1) * _period;
     }
 
     /** First edge strictly after @p t. */
-    Tick nextEdgeAfter(Tick t) const { return (t / _period + 1) * _period; }
+    Tick
+    nextEdgeAfter(Tick t) const
+    {
+        return (_div.divide(t) + 1) * _period;
+    }
 
     /** Convert a cycle count to a duration in ticks. */
     Tick cyclesToTicks(Cycles c) const { return c * _period; }
@@ -66,12 +72,13 @@ class ClockDomain
     Cycles
     ticksToCycles(Tick d) const
     {
-        return (d + _period - 1) / _period;
+        return _div.divide(d + _period - 1);
     }
 
   private:
     std::string _name;
     Tick _period;
+    FastDiv _div; //!< period specialized once (shift or magic multiply)
 };
 
 /**
@@ -101,7 +108,7 @@ class Clocked
      * is exactly on an edge).
      */
     EventId
-    scheduleCycles(Cycles cycles, std::function<void()> fn,
+    scheduleCycles(Cycles cycles, EventQueue::Callback fn,
                    EventPriority prio = EventPriority::Default)
     {
         Tick base = _domain.nextEdgeAtOrAfter(_eq.curTick());
@@ -112,6 +119,109 @@ class Clocked
   private:
     EventQueue &_eq;
     const ClockDomain &_domain;
+};
+
+/**
+ * A persistent, re-armable event.
+ *
+ * The callback is type-erased once at init() time; every arm schedules
+ * only an 8-byte trampoline, so components that fire an event per cycle
+ * (core micro-op continuations, assist progress loops, the occupancy
+ * sampler) construct zero closures in steady state.  The handle clears
+ * before the callback runs, so the callback may re-arm itself.
+ */
+class RecurringEvent
+{
+  public:
+    RecurringEvent() = default;
+    RecurringEvent(const RecurringEvent &) = delete;
+    RecurringEvent &operator=(const RecurringEvent &) = delete;
+    ~RecurringEvent() { cancel(); }
+
+    /** Bind the queue, callback, and tie-break priority (once). */
+    void
+    init(EventQueue &eq, EventQueue::Callback fn,
+         EventPriority prio = EventPriority::Default)
+    {
+        panic_if(_eq, "recurring event initialised twice");
+        panic_if(!fn, "recurring event with null callback");
+        _eq = &eq;
+        _fn = std::move(fn);
+        _prio = prio;
+    }
+
+    bool scheduled() const { return _id != invalidEventId; }
+
+    /** Arm at absolute tick @p when; the event must not be armed. */
+    void
+    scheduleAt(Tick when)
+    {
+        panic_if(!_eq, "recurring event armed before init");
+        panic_if(scheduled(), "recurring event armed twice");
+        _id = _eq->schedule(when, [this] { fire(); }, _prio);
+    }
+
+    /** Arm @p delta ticks from now. */
+    void scheduleIn(Tick delta) { scheduleAt(_eq->curTick() + delta); }
+
+    /** Disarm. @retval false if the event was not armed. */
+    bool
+    cancel()
+    {
+        if (!scheduled())
+            return false;
+        EventId id = _id;
+        _id = invalidEventId;
+        return _eq->cancel(id);
+    }
+
+  private:
+    void
+    fire()
+    {
+        _id = invalidEventId;
+        _fn();
+    }
+
+    EventQueue *_eq = nullptr;
+    EventQueue::Callback _fn;
+    EventPriority _prio = EventPriority::Default;
+    EventId _id = invalidEventId;
+};
+
+/**
+ * A RecurringEvent owned by a Clocked component, armed in cycles with
+ * the same edge-alignment semantics as Clocked::scheduleCycles().
+ */
+class ClockedEvent
+{
+  public:
+    ClockedEvent() = default;
+
+    void
+    init(Clocked &owner, EventQueue::Callback fn,
+         EventPriority prio = EventPriority::Default)
+    {
+        _owner = &owner;
+        _ev.init(owner.eventQueue(), std::move(fn), prio);
+    }
+
+    bool scheduled() const { return _ev.scheduled(); }
+
+    /** Arm @p cycles edges after the next edge at-or-after now. */
+    void
+    scheduleCycles(Cycles cycles)
+    {
+        const ClockDomain &d = _owner->clockDomain();
+        Tick base = d.nextEdgeAtOrAfter(_owner->curTick());
+        _ev.scheduleAt(base + d.cyclesToTicks(cycles));
+    }
+
+    bool cancel() { return _ev.cancel(); }
+
+  private:
+    Clocked *_owner = nullptr;
+    RecurringEvent _ev;
 };
 
 } // namespace tengig

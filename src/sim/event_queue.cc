@@ -1,40 +1,162 @@
 #include "event_queue.hh"
 
+#include <utility>
+
 namespace tengig {
 
+namespace {
+
+constexpr EventId
+makeId(std::uint32_t slot, std::uint32_t generation)
+{
+    return (static_cast<EventId>(slot) + 1) << 32 | generation;
+}
+
+} // namespace
+
+std::uint32_t
+EventQueue::acquireSlot()
+{
+    if (!freeSlots.empty()) {
+        std::uint32_t idx = freeSlots.back();
+        freeSlots.pop_back();
+        return idx;
+    }
+    panic_if(slots.size() >= 0xffffffffu, "event slot table overflow");
+    slots.emplace_back();
+    return static_cast<std::uint32_t>(slots.size() - 1);
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t idx)
+{
+    freeSlots.push_back(idx);
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    HeapEntry e = heap[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!laterThan(heap[parent], e))
+            break;
+        heap[i] = heap[parent];
+        i = parent;
+    }
+    heap[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    HeapEntry e = heap[i];
+    std::size_t n = heap.size();
+    while (true) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && laterThan(heap[child], heap[child + 1]))
+            ++child;
+        if (!laterThan(e, heap[child]))
+            break;
+        heap[i] = heap[child];
+        i = child;
+    }
+    heap[i] = e;
+}
+
+std::uint32_t
+EventQueue::popTop()
+{
+    std::uint32_t idx = heap[0].slot;
+    heap[0] = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+    return idx;
+}
+
+void
+EventQueue::compact()
+{
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < heap.size(); ++i) {
+        std::uint32_t idx = heap[i].slot;
+        if (slots[idx].alive)
+            heap[out++] = heap[i];
+        else
+            releaseSlot(idx);
+    }
+    heap.resize(out);
+    deadInHeap = 0;
+    for (std::size_t i = heap.size() / 2; i-- > 0;)
+        siftDown(i);
+}
+
 EventId
-EventQueue::schedule(Tick when, std::function<void()> fn, EventPriority prio)
+EventQueue::schedule(Tick when, Callback fn, EventPriority prio)
 {
     panic_if(when < _curTick,
              "scheduling event in the past: when=", when,
              " cur=", _curTick);
     panic_if(!fn, "scheduling null event callback");
-    EventId id = nextId++;
-    pq.push(Entry{when, static_cast<int>(prio), id, std::move(fn)});
-    live.insert(id);
-    return id;
+    std::uint32_t idx = acquireSlot();
+    Slot &s = slots[idx];
+    s.fn = std::move(fn);
+    s.alive = true;
+    heap.push_back(
+        HeapEntry{when, static_cast<std::int32_t>(prio), idx, nextSeq++});
+    siftUp(heap.size() - 1);
+    ++liveCount;
+    return makeId(idx, s.generation);
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    // Lazy cancellation: drop the id from the live set; fireNext() skips
-    // queue entries whose id is no longer live.
-    return live.erase(id) != 0;
+    std::uint64_t encoded = id >> 32;
+    if (encoded == 0 || encoded > slots.size())
+        return false;
+    Slot &s = slots[encoded - 1];
+    if (!s.alive || s.generation != static_cast<std::uint32_t>(id))
+        return false;
+    // The heap entry stays behind as a tombstone; bumping the
+    // generation makes it (and any stale copies of this id) dead.
+    s.alive = false;
+    s.fn.reset();
+    ++s.generation;
+    --liveCount;
+    ++deadInHeap;
+    if (deadInHeap > liveCount && heap.size() >= 64)
+        compact();
+    return true;
 }
 
 bool
 EventQueue::fireNext()
 {
-    while (!pq.empty()) {
-        Entry top = pq.top();
-        pq.pop();
-        if (live.erase(top.id) == 0)
+    while (!heap.empty()) {
+        Tick when = heap[0].when;
+        std::uint32_t idx = popTop();
+        Slot &s = slots[idx];
+        if (!s.alive) {
+            --deadInHeap;
+            releaseSlot(idx);
             continue; // cancelled
-        panic_if(top.when < _curTick, "event queue time went backwards");
-        _curTick = top.when;
+        }
+        panic_if(when < _curTick, "event queue time went backwards");
+        // Move the callback out and recycle the slot *before* invoking
+        // it, so the callback can schedule (and land in this slot under
+        // a fresh generation) without touching freed state.
+        Callback fn = std::move(s.fn);
+        s.alive = false;
+        ++s.generation;
+        --liveCount;
+        releaseSlot(idx);
+        _curTick = when;
         ++executed;
-        top.fn();
+        fn();
         return true;
     }
     return false;
@@ -49,18 +171,19 @@ EventQueue::step()
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!pq.empty()) {
-        if (pq.top().when > limit) {
-            // Skip dead entries that happen to sit past the limit so that
-            // empty() reflects reality even when we stop early.
-            if (live.count(pq.top().id) == 0) {
-                pq.pop();
-                continue;
-            }
-            break;
+    while (!heap.empty()) {
+        // Drop dead tombstones at the top without executing anything --
+        // a slot flag load, no hash lookup -- so empty() reflects
+        // reality even when we stop early at the limit.
+        if (!slots[heap[0].slot].alive) {
+            std::uint32_t idx = popTop();
+            --deadInHeap;
+            releaseSlot(idx);
+            continue;
         }
-        if (!fireNext())
+        if (heap[0].when > limit)
             break;
+        fireNext();
     }
     return _curTick;
 }

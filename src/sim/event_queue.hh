@@ -7,25 +7,34 @@
  * schedules through a single queue so that multi-clock-domain interactions
  * are globally ordered, mirroring the Liberty/Spinach execution model the
  * paper's simulator was built on.
+ *
+ * Internals (see DESIGN.md §10): the heap holds small POD entries only;
+ * callbacks live out-of-line in a recycled slot table addressed by the
+ * entry, so sift operations never move closures and firing moves the
+ * callback out exactly once.  EventIds carry the slot's generation
+ * counter, making cancellation an O(1) tag compare with no hash set.
  */
 
 #ifndef TENGIG_SIM_EVENT_QUEUE_HH
 #define TENGIG_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace tengig {
 
 namespace obs { class TraceLog; }
 
-/** Opaque handle used to cancel a scheduled event. */
+/**
+ * Opaque handle used to cancel a scheduled event.  Encodes
+ * (slot index + 1) << 32 | slot generation, so stale handles -- and
+ * arbitrary garbage values -- fail the generation compare instead of
+ * cancelling an unrelated event.
+ */
 using EventId = std::uint64_t;
 
 /** Invalid/empty event handle. */
@@ -49,6 +58,13 @@ enum class EventPriority : int
 class EventQueue
 {
   public:
+    /**
+     * Callback type: 64 inline bytes cover every closure the model
+     * schedules (the largest are scratchpad responses and MAC wire
+     * completions), so steady-state scheduling never allocates.
+     */
+    using Callback = SmallFn<void(), 64>;
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -64,12 +80,12 @@ class EventQueue
      * @param prio Tie-break priority at equal tick.
      * @return Handle usable with cancel().
      */
-    EventId schedule(Tick when, std::function<void()> fn,
+    EventId schedule(Tick when, Callback fn,
                      EventPriority prio = EventPriority::Default);
 
     /** Schedule relative to now. */
     EventId
-    scheduleIn(Tick delta, std::function<void()> fn,
+    scheduleIn(Tick delta, Callback fn,
                EventPriority prio = EventPriority::Default)
     {
         return schedule(_curTick + delta, std::move(fn), prio);
@@ -79,15 +95,16 @@ class EventQueue
      * Cancel a previously scheduled event.
      *
      * @retval true The event existed and will not fire.
-     * @retval false The event had already fired or been cancelled.
+     * @retval false The event had already fired or been cancelled, or
+     *         the handle never named an event at all.
      */
     bool cancel(EventId id);
 
     /** @return true if no live events remain. */
-    bool empty() const { return live.empty(); }
+    bool empty() const { return liveCount == 0; }
 
-    /** Number of events waiting to fire. */
-    std::size_t pendingEvents() const { return live.size(); }
+    /** Number of live (scheduled, not cancelled) events. */
+    std::size_t pendingEvents() const { return liveCount; }
 
     /**
      * Run until the queue drains or @p limit is reached.
@@ -114,33 +131,54 @@ class EventQueue
     /// @}
 
   private:
-    struct Entry
+    /**
+     * Heap node: 24 trivially-copyable bytes.  The callback stays in
+     * the slot table so sift-up/down shuffles PODs, not closures.
+     * seq preserves insertion order among equal (when, prio) pairs.
+     */
+    struct HeapEntry
     {
         Tick when;
-        int prio;
-        EventId id;
-        std::function<void()> fn;
+        std::int32_t prio;
+        std::uint32_t slot;
+        std::uint64_t seq;
     };
 
-    struct Later
+    /** Out-of-line callback storage, recycled through a free list. */
+    struct Slot
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.id > b.id;
-        }
+        Callback fn;
+        std::uint32_t generation = 0;
+        bool alive = false;
     };
+
+    /** @return true if @p a fires after @p b. */
+    static bool
+    laterThan(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        if (a.prio != b.prio)
+            return a.prio > b.prio;
+        return a.seq > b.seq;
+    }
 
     bool fireNext();
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    std::uint32_t acquireSlot();
+    void releaseSlot(std::uint32_t idx);
+    void compact();
+    /** Pop the heap top; @return its slot index. */
+    std::uint32_t popTop();
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> pq;
-    std::unordered_set<EventId> live;
+    std::vector<HeapEntry> heap;
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> freeSlots;
+    std::size_t liveCount = 0;
+    std::size_t deadInHeap = 0;
     Tick _curTick = 0;
-    EventId nextId = 1;
+    std::uint64_t nextSeq = 1;
     std::uint64_t executed = 0;
     obs::TraceLog *_trace = nullptr;
 };

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fast unsigned division by a runtime-constant divisor.
+ *
+ * ClockDomain divides ticks by the domain period on every edge
+ * computation, which makes 64-bit integer division one of the hottest
+ * operations in the simulator.  The divisor is fixed at construction,
+ * so we specialize once: divide-by-one becomes the identity,
+ * power-of-two periods become shifts, and everything else uses the
+ * round-up magic-multiply scheme (Granlund & Montgomery): with
+ * m = floor(2^64 / d) + 1, floor(n / d) == mulhi(n, m) for all n up to
+ * a precomputed limit.  Beyond the limit (thousands of simulated
+ * seconds for picosecond ticks) we fall back to hardware division, so
+ * the result is exact for every input.
+ */
+
+#ifndef TENGIG_SIM_FAST_DIV_HH
+#define TENGIG_SIM_FAST_DIV_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace tengig {
+
+class FastDiv
+{
+  public:
+    FastDiv() = default;
+    explicit FastDiv(std::uint64_t d) { init(d); }
+
+    void
+    init(std::uint64_t d)
+    {
+        fatal_if(d == 0, "FastDiv by zero");
+        _d = d;
+        if (d == 1) {
+            _mode = Mode::Identity;
+            return;
+        }
+        if ((d & (d - 1)) == 0) {
+            _mode = Mode::Shift;
+            _shift = 0;
+            while ((std::uint64_t{1} << _shift) < d)
+                ++_shift;
+            return;
+        }
+#if defined(__SIZEOF_INT128__)
+        _mode = Mode::Magic;
+        using u128 = unsigned __int128;
+        const u128 two64 = u128{1} << 64;
+        _magic = static_cast<std::uint64_t>(two64 / d) + 1;
+        // m * d = 2^64 + e with 1 <= e < d (d is not a power of two).
+        const std::uint64_t e = d - static_cast<std::uint64_t>(two64 % d);
+        // mulhi(n, m) = floor(n/d) + floor((q*e + r*m) / 2^64) for
+        // n = q*d + r, so the result is exact while q*e + r*m < 2^64.
+        // Bound r by d-1 and solve for the largest safe quotient.
+        const u128 head = (two64 - 1) - u128{d - 1} * _magic;
+        const u128 qmax = head / e;
+        const u128 nmax = qmax * d + (d - 1);
+        _limit = nmax > two64 - 1 ? ~std::uint64_t{0}
+                                  : static_cast<std::uint64_t>(nmax);
+#else
+        _mode = Mode::Plain;
+#endif
+    }
+
+    std::uint64_t divisor() const { return _d; }
+
+    std::uint64_t
+    divide(std::uint64_t n) const
+    {
+        switch (_mode) {
+          case Mode::Identity:
+            return n;
+          case Mode::Shift:
+            return n >> _shift;
+          case Mode::Magic:
+#if defined(__SIZEOF_INT128__)
+            if (n <= _limit) {
+                using u128 = unsigned __int128;
+                return static_cast<std::uint64_t>((u128{n} * _magic) >> 64);
+            }
+#endif
+            [[fallthrough]];
+          case Mode::Plain:
+          default:
+            return n / _d;
+        }
+    }
+
+  private:
+    enum class Mode : std::uint8_t { Identity, Shift, Magic, Plain };
+
+    std::uint64_t _d = 1;
+    std::uint64_t _magic = 0;
+    std::uint64_t _limit = 0;
+    unsigned _shift = 0;
+    Mode _mode = Mode::Identity;
+};
+
+} // namespace tengig
+
+#endif // TENGIG_SIM_FAST_DIV_HH

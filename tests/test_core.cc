@@ -18,22 +18,21 @@ namespace {
 class ScriptedDispatcher : public Dispatcher
 {
   public:
-    OpList
-    next(unsigned) override
+    void
+    next(unsigned, OpList &out) override
     {
         if (script.empty()) {
-            OpList idle;
+            out.clear();
             MicroOp op;
             op.kind = OpKind::Alu;
             op.tag = FuncTag::Idle;
             op.count = 4;
-            idle.ops.push_back(std::move(op));
-            idle.idlePoll = true;
-            return idle;
+            out.ops.push_back(std::move(op));
+            out.idlePoll = true;
+            return;
         }
-        OpList l = std::move(script.front());
+        out = std::move(script.front());
         script.pop_front();
-        return l;
     }
 
     void push(OpList l) { script.push_back(std::move(l)); }

@@ -148,6 +148,89 @@ TEST(EventQueue, ExecutedEventsCounts)
     EXPECT_EQ(eq.executedEvents(), 7u);
 }
 
+TEST(EventQueue, StaleIdAfterSlotReuseFailsCancel)
+{
+    // Cancelling releases the slot; the next schedule may reuse it with
+    // a bumped generation.  The stale handle must not cancel (or even
+    // touch) the new occupant.
+    EventQueue eq;
+    EventId old_id = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.cancel(old_id));
+
+    bool ran = false;
+    EventId new_id = eq.schedule(10, [&] { ran = true; });
+    EXPECT_FALSE(eq.cancel(old_id)); // stale generation
+    eq.run();
+    EXPECT_TRUE(ran);
+    EXPECT_FALSE(eq.cancel(new_id)); // already fired
+}
+
+TEST(EventQueue, StaleIdAfterFireFailsCancelOnReusedSlot)
+{
+    EventQueue eq;
+    EventId first = eq.schedule(10, [] {});
+    eq.run();
+
+    bool ran = false;
+    eq.schedule(20, [&] { ran = true; });
+    EXPECT_FALSE(eq.cancel(first));
+    eq.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, PendingEventsCountsLiveOnly)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 10; ++i)
+        ids.push_back(eq.schedule(static_cast<Tick>(100 + i), [] {}));
+    EXPECT_EQ(eq.pendingEvents(), 10u);
+    for (int i = 0; i < 10; i += 2)
+        EXPECT_TRUE(eq.cancel(ids[static_cast<std::size_t>(i)]));
+    // Cancelled entries may still sit in the heap awaiting compaction,
+    // but they are invisible to the live count.
+    EXPECT_EQ(eq.pendingEvents(), 5u);
+    eq.run();
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CancelStressCompactsAndStaysCorrect)
+{
+    // Schedule/cancel churn far past the compaction threshold: dead
+    // entries must never fire, live ones must all fire in order, and
+    // the queue must end drained.
+    Rng rng(7);
+    EventQueue eq;
+    std::vector<Tick> fired;
+    std::size_t expected = 0;
+    for (int round = 0; round < 200; ++round) {
+        std::vector<EventId> ids;
+        for (int i = 0; i < 64; ++i) {
+            Tick t = eq.curTick() + 1 + rng.below(500);
+            ids.push_back(eq.schedule(t, [&fired, t] {
+                fired.push_back(t);
+            }));
+        }
+        // Cancel most of this round's events, favoring heavy dead/live
+        // ratios that force repeated compaction.
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            if (i % 8 != 0)
+                EXPECT_TRUE(eq.cancel(ids[i]));
+            else
+                ++expected;
+        }
+        // Drain a little so time advances between rounds.
+        eq.runUntil(eq.curTick() + 50);
+    }
+    eq.run();
+    ASSERT_EQ(fired.size(), expected);
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        ASSERT_LE(fired[i - 1], fired[i]);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+}
+
 TEST(EventQueue, RandomizedOrderingProperty)
 {
     // Property: regardless of insertion order and cancellations, events

@@ -1,9 +1,13 @@
 # ctest driver for the BENCH_*.json smoke test: run a quick bench with
 # --json=<path>, then validate the artifact with bench_json_check.
-# Invoked from tools/CMakeLists.txt with BENCH_BIN, CHECK_BIN, WORK_DIR.
+# Invoked from tools/CMakeLists.txt with BENCH_BIN, CHECK_BIN, WORK_DIR,
+# and optionally ARTIFACT_NAME (defaults to the mixed_traffic report).
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
-set(artifact "${WORK_DIR}/BENCH_mixed_traffic.json")
+if(NOT DEFINED ARTIFACT_NAME)
+    set(ARTIFACT_NAME "BENCH_mixed_traffic.json")
+endif()
+set(artifact "${WORK_DIR}/${ARTIFACT_NAME}")
 file(REMOVE "${artifact}")
 
 execute_process(

@@ -4,6 +4,9 @@
 # Usage:
 #   tools/check.sh            # full suite
 #   tools/check.sh --quick    # only tests labeled "quick"
+#   tools/check.sh --bench    # build + run the sim-speed benchmark and
+#                             # print events/sec deltas vs the committed
+#                             # BENCH_sim_speed.json (if present)
 #   TENGIG_SANITIZE=ON tools/check.sh
 #                             # ASan+UBSan build in a separate tree
 #
@@ -18,6 +21,40 @@ sanitize=${TENGIG_SANITIZE:-OFF}
 build="$repo/build"
 if [ "$sanitize" = "ON" ]; then
     build="$repo/build-asan"
+fi
+
+if [ "${1:-}" = "--bench" ]; then
+    # Simulator-speed check: rebuild, run the bench fresh, and compare
+    # host events/sec per row against the committed baseline report.
+    cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize"
+    cmake --build "$build" -j"$(nproc)" --target sim_speed
+    fresh="$build/BENCH_sim_speed.fresh.json"
+    "$build/bench/sim_speed" "--json=$fresh"
+    baseline="$repo/BENCH_sim_speed.json"
+    if [ ! -f "$baseline" ]; then
+        echo "no committed BENCH_sim_speed.json baseline; wrote $fresh"
+        exit 0
+    fi
+    python3 - "$baseline" "$fresh" <<'EOF'
+import json, sys
+base = json.load(open(sys.argv[1]))
+fresh = json.load(open(sys.argv[2]))
+base_rows = {r["name"]: r["metrics"] for r in base["rows"]}
+print()
+print("sim_speed vs committed baseline (host events/sec):")
+print("%-30s %12s %12s %8s" % ("config", "baseline", "now", "ratio"))
+for row in fresh["rows"]:
+    name, m = row["name"], row["metrics"]
+    b = base_rows.get(name)
+    if b is None:
+        print("%-30s %12s %12.0f %8s" %
+              (name, "-", m["hostEventsPerSec"], "new"))
+        continue
+    ratio = m["hostEventsPerSec"] / b["hostEventsPerSec"]
+    print("%-30s %12.0f %12.0f %7.2fx" %
+          (name, b["hostEventsPerSec"], m["hostEventsPerSec"], ratio))
+EOF
+    exit 0
 fi
 
 ctest_args="--output-on-failure -j$(nproc)"
