@@ -34,11 +34,12 @@ namespace {
 struct SpeedPoint
 {
     std::string name;       //!< row label
-    std::string workload;   //!< "duplex" or "rx-light"
+    std::string workload;   //!< "duplex", "imix" or "rx-light"
     unsigned cores;
     double cpuMhz;
     bool taskLevel;
     bool idleSleep;
+    unsigned payloadBytes = 0; //!< explicit duplex payload (0 = default)
 };
 
 struct SpeedResult
@@ -79,6 +80,15 @@ measure(const SpeedPoint &p, bool quick)
         r.totalUdpGbps = res.totalUdpGbps;
         r.frames = res.rxFrames;
     } else {
+        if (p.workload == "imix") {
+            // Mixed-size multi-flow duplex: the payload-heavy stress on
+            // the zero-copy data path with per-flow validation on top.
+            cfg.txTraffic = TrafficProfile::imixPoisson(8, 1.0, 0x51);
+            cfg.rxTraffic = TrafficProfile::imixPoisson(8, 1.0, 0x52);
+        } else if (p.payloadBytes) {
+            cfg.txPayloadBytes = p.payloadBytes;
+            cfg.rxPayloadBytes = p.payloadBytes;
+        }
         NicController nic(cfg);
         Tick warmup = quick ? tickPerMs / 4 : tickPerMs / 2;
         Tick window = quick ? tickPerMs / 2 : 2 * tickPerMs;
@@ -112,6 +122,8 @@ main(int argc, char **argv)
 
     std::vector<SpeedPoint> points = {
         {"duplex 6c 200MHz (default)", "duplex", 6, 200, false, false},
+        {"duplex 6c 200MHz 1472B", "duplex", 6, 200, false, false, 1472},
+        {"imix 6c 200MHz 8 flows", "imix", 6, 200, false, false},
         {"duplex 2c 200MHz", "duplex", 2, 200, false, false},
         {"duplex 6c 200MHz task-level", "duplex", 6, 200, true, false},
         {"rx-light 1c 200MHz", "rx-light", 1, 200, false, false},
@@ -137,6 +149,8 @@ main(int argc, char **argv)
         cfg.set("cpuMhz", p.cpuMhz);
         cfg.set("taskLevelFirmware", p.taskLevel);
         cfg.set("idleSleep", p.idleSleep);
+        if (p.payloadBytes)
+            cfg.set("payloadBytes", p.payloadBytes);
 
         obs::json::Value m = obs::json::Value::object();
         m.set("hostEventsPerSec", r.eventsPerSec);

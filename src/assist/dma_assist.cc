@@ -41,6 +41,18 @@ DmaAssist::push(DmaCommand cmd)
     return true;
 }
 
+bool
+DmaAssist::pushPair(DmaCommand a, DmaCommand b)
+{
+    if (queue.size() + 2 > fifoDepth)
+        return false;
+    queue.push_back(std::move(a));
+    queue.push_back(std::move(b));
+    if (!busy)
+        startNext();
+    return true;
+}
+
 void
 DmaAssist::startNext()
 {
@@ -51,26 +63,53 @@ DmaAssist::startNext()
     busy = true;
     DmaCommand &cmd = queue.front();
     bytes += cmd.len;
+    std::size_t pay = std::min(cmd.payloadLen, cmd.len);
+    payloadBytes += pay;
+    headerBytes += cmd.len - pay;
     cmdStart = curTick();
 
-    switch (cmd.kind) {
-      case DmaCommand::Kind::HostToSdram:
-        // Functional copy at completion keeps SDRAM contents exact.
-        sdram.request(sdramRequester, cmd.localAddr, cmd.len, true,
-                      [this] {
-                          DmaCommand &c = queue.front();
-                          sdram.writeBytes(c.localAddr,
-                                           host.data(c.hostAddr), c.len);
-                          finishCurrent();
-                      });
+    if (tailIssued) {
+        // This command already went to the SDRAM as the tail of a
+        // fused pair; its burst completion will call finishCurrent().
+        tailIssued = false;
         return;
+    }
+
+    switch (cmd.kind) {
+      case DmaCommand::Kind::HostToSdram: {
+        // Functional copy at completion keeps SDRAM contents exact;
+        // the overlay copy moves pattern spans without expanding them.
+        auto copy_done = [this] {
+            DmaCommand &c = queue.front();
+            sdram.store().copyFrom(host.store(), c.hostAddr,
+                                   c.localAddr, c.len);
+            finishCurrent();
+        };
+        // Fuse the TX header+payload shape -- a completion-less
+        // command followed by the SDRAM-contiguous rest of the same
+        // frame -- into one burst pair so an idle bus serves it with
+        // one fewer heap event (see GddrSdram::requestPair).
+        if (!cmd.done && queue.size() >= 2 &&
+            queue[1].kind == DmaCommand::Kind::HostToSdram &&
+            queue[1].localAddr == cmd.localAddr + cmd.len) {
+            tailIssued = true;
+            sdram.requestPair(sdramRequester, cmd.localAddr, cmd.len,
+                              copy_done, queue[1].localAddr,
+                              queue[1].len, copy_done, true);
+        } else {
+            sdram.request(sdramRequester, cmd.localAddr, cmd.len, true,
+                          copy_done);
+        }
+        return;
+      }
 
       case DmaCommand::Kind::SdramToHost:
         sdram.request(sdramRequester, cmd.localAddr, cmd.len, false,
                       [this] {
                           DmaCommand &c = queue.front();
-                          sdram.readBytes(c.localAddr,
-                                          host.data(c.hostAddr), c.len);
+                          host.store().copyFrom(sdram.store(),
+                                                c.localAddr, c.hostAddr,
+                                                c.len);
                           finishCurrent();
                       });
         return;
@@ -151,7 +190,11 @@ void
 DmaAssist::registerStats(obs::StatGroup &g) const
 {
     g.add("commands", completed, "commands completed in FIFO order");
-    g.add("bytes", bytes, "payload bytes moved");
+    g.add("bytes", bytes, "bytes moved (headers + payloads)");
+    g.add("headerBytes", headerBytes,
+          "header/descriptor bytes moved (bytes - payloadBytes)");
+    g.add("payloadBytes", payloadBytes,
+          "frame-payload bytes moved (virtual in steady state)");
     g.derived("depth",
               [this] { return static_cast<double>(queue.size()); },
               "commands currently queued");

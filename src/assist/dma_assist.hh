@@ -47,6 +47,10 @@ struct DmaCommand
     Addr hostAddr = 0;
     Addr localAddr = 0;
     std::size_t len = 0;
+    /** Frame-payload bytes within len (the rest is header/descriptor
+     *  traffic); splits the assist's byte counters so the zero-copy
+     *  accounting reconciles. */
+    std::size_t payloadLen = 0;
     std::function<void()> done; //!< fires when the transfer completes
 };
 
@@ -72,12 +76,27 @@ class DmaAssist : public Clocked
      */
     bool push(DmaCommand cmd);
 
+    /**
+     * Enqueue two commands atomically: both are in the FIFO before the
+     * engine can start the first.  This is how the firmware posts a
+     * frame's header + payload so an idle engine still sees the pair
+     * and can fuse it into one SDRAM burst-pair request.  Completion
+     * order and timing are identical to two back-to-back push() calls.
+     * @retval false (enqueuing nothing) unless both commands fit.
+     */
+    bool pushPair(DmaCommand a, DmaCommand b);
+
     bool full() const { return queue.size() >= fifoDepth; }
     std::size_t depth() const { return queue.size(); }
     unsigned capacity() const { return fifoDepth; }
 
     std::uint64_t commandsCompleted() const { return completed.value(); }
     std::uint64_t bytesMoved() const { return bytes.value(); }
+    std::uint64_t headerBytesMoved() const { return headerBytes.value(); }
+    std::uint64_t payloadBytesMoved() const
+    {
+        return payloadBytes.value();
+    }
 
     /** Register counters into the owner's stat tree (src/obs). */
     void registerStats(obs::StatGroup &g) const;
@@ -101,6 +120,9 @@ class DmaAssist : public Clocked
 
     std::deque<DmaCommand> queue;
     bool busy = false;
+    /** The front command was pre-issued to the SDRAM as the tail of a
+     *  fused burst pair; startNext() must account it without issuing. */
+    bool tailIssued = false;
     /// @name Active scratchpad word-loop cursor
     /// Progress lives here rather than in per-word closures, so each
     /// word's crossbar callback captures only `this`.
@@ -115,6 +137,8 @@ class DmaAssist : public Clocked
 
     stats::Counter completed;
     stats::Counter bytes;
+    stats::Counter headerBytes;
+    stats::Counter payloadBytes;
 };
 
 } // namespace tengig

@@ -16,9 +16,7 @@ MacTx::MacTx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram_,
              FrameSink &sink, unsigned sdram_requester,
              unsigned fifo_depth)
     : MacTx(eq, domain, sdram_,
-            Deliver([&sink](const std::uint8_t *bytes, unsigned len) {
-                sink.deliver(bytes, len);
-            }),
+            Deliver([&sink](const FrameView &v) { sink.deliver(v); }),
             sdram_requester, fifo_depth)
 {}
 
@@ -85,9 +83,22 @@ MacTx::wireDone()
 {
     WireEntry e = std::move(onWire.front());
     onWire.pop_front();
-    std::vector<std::uint8_t> bytes(e.cmd.lenBytes);
-    sdram.readBytes(e.cmd.sdramAddr, bytes.data(), e.cmd.lenBytes);
-    deliver(bytes.data(), e.cmd.lenBytes);
+    if (auto desc = sdram.viewFrame(e.cmd.sdramAddr, e.cmd.lenBytes)) {
+        // Steady state: the slot holds one whole-frame pattern span;
+        // hand the descriptor straight to the sink.
+        FrameView v;
+        v.desc = &*desc;
+        v.len = e.cmd.lenBytes;
+        deliver(v);
+    } else {
+        // Materialized / partially dirty slot: fall back to bytes.
+        std::vector<std::uint8_t> bytes(e.cmd.lenBytes);
+        sdram.readBytes(e.cmd.sdramAddr, bytes.data(), e.cmd.lenBytes);
+        FrameView v;
+        v.bytes = bytes.data();
+        v.len = e.cmd.lenBytes;
+        deliver(v);
+    }
     ++frames;
     frameBytes += e.frame;
     wireBytes += wireBytesForFrame(e.frame);
@@ -113,7 +124,7 @@ MacRx::frameArrived(FrameData &&fd)
         ++drops;
         return false;
     }
-    unsigned len = static_cast<unsigned>(fd.bytes.size());
+    unsigned len = fd.size();
     std::optional<Addr> slot = allocSlot(len);
     if (!slot) {
         ++drops;
@@ -122,25 +133,39 @@ MacRx::frameArrived(FrameData &&fd)
     ++storing;
     Addr addr = *slot;
     Tick arrived = curTick();
-    sdram.request(sdramRequester, addr, len, true,
-                  [this, addr, arrived, data = std::move(fd.bytes)]() {
-                      sdram.writeBytes(addr, data.data(), data.size());
-                      ++frames;
-                      --storing;
-                      if (obs::TraceLog *t = traceLog();
-                          t && t->enabled() &&
-                          traceLane != obs::noTraceLane) {
-                          t->complete(traceLane,
-                                      "rx " +
-                                          std::to_string(data.size()) +
-                                          "B",
-                                      arrived, curTick() - arrived,
-                                      "mac");
-                      }
-                      onStored(StoredFrame{
-                          addr, static_cast<unsigned>(data.size())});
-                  });
+    if (fd.desc) {
+        // Descriptor frame: the store burst pays full SDRAM timing but
+        // lands as a 16-byte pattern span, not ~1.5 KB of bytes.
+        sdram.request(sdramRequester, addr, len, true,
+                      [this, addr, len, arrived, d = *fd.desc]() {
+                          sdram.store().putFrame(addr, d);
+                          storeComplete(addr, len, arrived);
+                      });
+    } else {
+        sdram.request(sdramRequester, addr, len, true,
+                      [this, addr, arrived,
+                       data = std::move(fd.bytes)]() {
+                          sdram.writeBytes(addr, data.data(),
+                                           data.size());
+                          storeComplete(
+                              addr, static_cast<unsigned>(data.size()),
+                              arrived);
+                      });
+    }
     return true;
+}
+
+void
+MacRx::storeComplete(Addr addr, unsigned len, Tick arrived)
+{
+    ++frames;
+    --storing;
+    if (obs::TraceLog *t = traceLog();
+        t && t->enabled() && traceLane != obs::noTraceLane) {
+        t->complete(traceLane, "rx " + std::to_string(len) + "B",
+                    arrived, curTick() - arrived, "mac");
+    }
+    onStored(StoredFrame{addr, len});
 }
 
 void

@@ -45,8 +45,10 @@ class MacTx : public Clocked
         std::function<void()> done;  //!< fires when the frame has left
     };
 
-    /** Wire-side consumer of transmitted frames (header+payload). */
-    using Deliver = std::function<void(const std::uint8_t *, unsigned)>;
+    /** Wire-side consumer of transmitted frames (header+payload).
+     *  Steady-state frames arrive as descriptor-backed views straight
+     *  from the SDRAM overlay -- no byte copy, no allocation. */
+    using Deliver = std::function<void(const FrameView &)>;
 
     MacTx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram,
           Deliver deliver, unsigned sdram_requester,
@@ -165,6 +167,8 @@ class MacRx : public Clocked
     unsigned sdramRequester;
     std::function<std::optional<Addr>(unsigned)> allocSlot;
     std::function<void(const StoredFrame &)> onStored;
+
+    void storeComplete(Addr addr, unsigned len, Tick arrived);
 
     unsigned storing = 0; //!< frames being written to SDRAM
     static constexpr unsigned maxBuffered = 2;

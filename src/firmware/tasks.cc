@@ -318,7 +318,7 @@ FwTasks::tryFetchSendBd(OpRecorder &rec)
         --state.dmaReadReserved;
         bool ok = dmaRead.push(DmaCommand{
             DmaCommand::Kind::HostToSpad, host_at, local_at,
-            batch * BufferDesc::bytes,
+            batch * BufferDesc::bytes, 0,
             [this, batch] {
                 state.txBdArrivedBds += batch;
                 hwCounterWrite(FwState::CtrTxBdArrived,
@@ -435,19 +435,22 @@ FwTasks::trySendFrame(OpRecorder &rec)
             (seq % state.config.txSlots) * state.config.slotBytes;
         rec.action([this, info, slot, seq] {
             state.dmaReadReserved -= 2;
-            bool ok = dmaRead.push(DmaCommand{
-                DmaCommand::Kind::HostToSdram, info.hostHdrAddr, slot,
-                info.hdrLen, nullptr});
             // Payload lands right after the 42-byte header --
             // misaligned in SDRAM, exactly the paper's inefficiency.
-            ok = ok && dmaRead.push(DmaCommand{
-                DmaCommand::Kind::HostToSdram, info.hostPayAddr,
-                slot + info.hdrLen, info.payLen,
-                [this, seq] {
-                    state.txCmdsCompleted++;
-                    hwCounterWrite(FwState::CtrTxCmdsCompleted,
-                                   state.txCmdsCompleted, ids.dmaRead);
-                }});
+            // Posted atomically so even an idle engine sees the pair
+            // and can fuse it into one SDRAM burst-pair request.
+            bool ok = dmaRead.pushPair(
+                DmaCommand{DmaCommand::Kind::HostToSdram,
+                           info.hostHdrAddr, slot, info.hdrLen, 0,
+                           nullptr},
+                DmaCommand{DmaCommand::Kind::HostToSdram,
+                           info.hostPayAddr, slot + info.hdrLen,
+                           info.payLen, info.payLen, [this, seq] {
+                               state.txCmdsCompleted++;
+                               hwCounterWrite(FwState::CtrTxCmdsCompleted,
+                                              state.txCmdsCompleted,
+                                              ids.dmaRead);
+                           }});
             panic_if(!ok, "dma read FIFO overflow despite reservation");
             state.txCmdSeq[state.txCmdsPushed % state.config.txSlots] =
                 seq;
@@ -687,7 +690,7 @@ FwTasks::tryProcessTxComplete(OpRecorder &rec)
         bool ok = dmaWrite.push(DmaCommand{
             DmaCommand::Kind::SpadToHost,
             driver.txConsumedMailbox(),
-            state.counterAddr(FwState::CtrTxComplProcessed), 4,
+            state.counterAddr(FwState::CtrTxComplProcessed), 4, 0,
             [this, upto] { driver.txConsumedUpTo(upto); }});
         panic_if(!ok, "dma write FIFO overflow despite reservation");
     });
@@ -750,7 +753,7 @@ FwTasks::tryFetchRecvBd(OpRecorder &rec)
         --state.dmaReadReserved;
         bool ok = dmaRead.push(DmaCommand{
             DmaCommand::Kind::HostToSpad, host_at, local_at,
-            batch * BufferDesc::bytes,
+            batch * BufferDesc::bytes, 0,
             [this, batch] {
                 state.rxBdArrivedBds += batch;
                 hwCounterWrite(FwState::CtrRxBdArrived,
@@ -900,6 +903,7 @@ FwTasks::tryRecvFrame(OpRecorder &rec)
             bool ok = dmaWrite.push(DmaCommand{
                 DmaCommand::Kind::SdramToHost, fi.hostBufAddr,
                 fi.sdramAddr, fi.len,
+                fi.len > txHeaderBytes ? fi.len - txHeaderBytes : 0,
                 [this] {
                     --state.dmaWriteReserved;
                     ++state.rxCmdsCompleted;
@@ -1034,7 +1038,7 @@ FwTasks::tryProcessRxDma(OpRecorder &rec)
         rec.action([this, compl_at, host_at] {
             --state.dmaWriteReserved;
             bool ok = dmaWrite.push(DmaCommand{
-                DmaCommand::Kind::SpadToHost, host_at, compl_at, 16,
+                DmaCommand::Kind::SpadToHost, host_at, compl_at, 16, 0,
                 [this, host_at] {
                     // "Interrupt": the driver reads the completion
                     // descriptor from its return ring.

@@ -53,31 +53,38 @@ DeviceDriver::postOneSendFrame()
         static_cast<std::size_t>(udpMaxPayloadBytes) * segs;
     Addr buf = txBufBase + static_cast<Addr>(slot) * buf_bytes;
 
-    // Header template: deterministic protocol-header stand-in.  For a
-    // TSO group the NIC replicates it per segment.
-    std::uint8_t hdr[txHeaderBytes];
-    for (unsigned i = 0; i < txHeaderBytes; ++i)
-        hdr[i] = static_cast<std::uint8_t>(0x40 + (i * 7 + seq));
-    host.write(buf, hdr, sizeof(hdr));
-
-    // Per-segment payloads laid out back to back in the large buffer,
-    // each individually validatable at the wire sink.  A multi-flow
-    // schedule picks this frame's flow and size and stamps the flow's
-    // own sequence space; otherwise every frame is flow 0 at the
-    // configured fixed size.
+    // Header template + per-segment payloads, posted as pattern spans
+    // rather than filled bytes: the contents are a pure function of
+    // (seq, flow, length), so the buffer carries 16-byte descriptors
+    // and the bytes never exist unless something downstream reads the
+    // frame non-uniformly.  The header span (filler seeded by the
+    // global posting sequence, matching the old 0x40 + (i*7 + seq)
+    // fill) merges with segment 0's payload span into one whole-frame
+    // span; later TSO segments stay payload-only spans the NIC's
+    // header replication completes.  A multi-flow schedule picks this
+    // frame's flow and size and stamps the flow's own sequence space;
+    // otherwise every frame is flow 0 at the configured fixed size.
+    auto hdr_seed = static_cast<std::uint32_t>(seq);
     unsigned payload = config.txPayloadBytes;
     if (config.txFrameSpec) {
         auto [flow, bytes] = config.txFrameSpec(seq);
         fatal_if(bytes < 18 || bytes > udpMaxPayloadBytes,
                  "tx schedule payload out of range: ", bytes);
         payload = bytes;
-        fillPayload(host.data(buf + txHeaderBytes), payload,
-                    txFlowSeq[flow]++, flow);
+        host.store().putFrame(
+            buf, FrameDesc{hdr_seed, txFlowSeq[flow]++, flow, payload});
     } else {
+        host.store().putSpan(
+            buf,
+            {FrameDesc{hdr_seed, static_cast<std::uint32_t>(seq), 0,
+                       payload},
+             0, txHeaderBytes});
         for (unsigned s = 0; s < segs; ++s) {
-            fillPayload(host.data(buf + txHeaderBytes +
-                                  static_cast<Addr>(s) * payload),
-                        payload, static_cast<std::uint32_t>(seq + s));
+            host.store().putSpan(
+                buf + txHeaderBytes + static_cast<Addr>(s) * payload,
+                {FrameDesc{hdr_seed, static_cast<std::uint32_t>(seq + s),
+                           0, payload},
+                 txHeaderBytes, payload});
         }
     }
 
@@ -168,16 +175,24 @@ void
 DeviceDriver::rxCompletion(Addr host_buf, std::uint32_t len)
 {
     ++rxDelivered;
+    // Descriptor fast path: a clean frame lands as one whole-frame
+    // span and validates in O(1).  Corrupted or previously
+    // materialized frames miss and fall back to real bytes.
+    std::optional<FrameDesc> desc = host.store().viewFrame(host_buf, len);
+    FrameView v;
+    v.len = len;
+    if (desc)
+        v.desc = &*desc;
+    else
+        v.bytes = host.bytesFor(host_buf, len);
     if (rxObserver)
-        rxObserver(host.data(host_buf), len);
+        rxObserver(v);
     if (rxDeliver) {
         // External (per-flow) validation owns the frame check.
-        rxDeliver(host.data(host_buf), len);
+        rxDeliver(v);
     } else {
-        std::uint32_t seq = 0;
-        if (len <= txHeaderBytes ||
-            !checkPayload(host.data(host_buf + txHeaderBytes),
-                          len - txHeaderBytes, seq)) {
+        std::uint32_t seq = 0, flow = 0;
+        if (!checkFrameView(v, seq, flow) || flow != 0) {
             ++rxBad;
         } else {
             rxPayload += len - txHeaderBytes;

@@ -128,10 +128,11 @@ class DeviceDriver
     /**
      * Divert delivered receive frames (header + payload) to an
      * external validator -- e.g. a per-flow FlowSink -- instead of the
-     * driver's built-in single-stream sequence check.
+     * driver's built-in single-stream sequence check.  Clean frames
+     * arrive as descriptor-backed views (O(1) validation).
      */
     void
-    onRxDeliver(std::function<void(const std::uint8_t *, unsigned)> fn)
+    onRxDeliver(std::function<void(const FrameView &)> fn)
     {
         rxDeliver = std::move(fn);
     }
@@ -142,7 +143,7 @@ class DeviceDriver
      * observability (latency bookkeeping).
      */
     void
-    onRxDelivered(std::function<void(const std::uint8_t *, unsigned)> fn)
+    onRxDelivered(std::function<void(const FrameView &)> fn)
     {
         rxObserver = std::move(fn);
     }
@@ -192,8 +193,8 @@ class DeviceDriver
     std::uint64_t rxBuffersReturned = 0;
     std::uint32_t rxExpectedSeq = 0;
     std::function<void(std::uint64_t)> recvDoorbell;
-    std::function<void(const std::uint8_t *, unsigned)> rxDeliver;
-    std::function<void(const std::uint8_t *, unsigned)> rxObserver;
+    std::function<void(const FrameView &)> rxDeliver;
+    std::function<void(const FrameView &)> rxObserver;
 
     stats::Counter rxDelivered;
     stats::Counter rxPayload;

@@ -129,7 +129,7 @@ Scratchpad::serviceBank(unsigned b)
     if (req.cb) {
         scheduleCycles(done,
                        [cb = std::move(req.cb), result, conflict,
-                        is_write] {
+                        is_write]() mutable {
                            cb(Response{result, conflict, is_write});
                        },
                        EventPriority::HardwareProgress);

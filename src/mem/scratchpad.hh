@@ -26,6 +26,7 @@
 
 #include "mem/spad_storage.hh"
 #include "sim/clock.hh"
+#include "sim/small_fn.hh"
 #include "sim/stats.hh"
 
 namespace tengig {
@@ -70,7 +71,14 @@ class Scratchpad : public Clocked
         bool isWrite;
     };
 
-    using Callback = std::function<void(const Response &)>;
+    /**
+     * Completion callback.  SmallFn rather than std::function: every
+     * hot caller captures just its `this` pointer, so responses move
+     * through the bank queue and the completion event without manager
+     * thunks or heap spills (oversized cold-path closures still spill
+     * safely).
+     */
+    using Callback = SmallFn<void(const Response &), 16>;
 
     /**
      * @param requesters Number of crossbar requesters (cores + assists).

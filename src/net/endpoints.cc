@@ -36,15 +36,12 @@ FrameSource::generateNext()
     }
 
     unsigned frame = frameBytesForPayload(payloadBytes);
+    // Descriptor-only frame: header filler seeded by the sequence
+    // number, payload = fillPayload(seq, flow 0).  Bytes materialize
+    // only if something downstream reads the frame non-uniformly.
     FrameData fd;
-    fd.bytes.resize(frame - ethCrcBytes);
-    // Header region: deterministic filler standing in for the Ethernet/
-    // IP/UDP headers of this datagram.
-    for (unsigned i = 0; i < txHeaderBytes; ++i)
-        fd.bytes[i] = static_cast<std::uint8_t>(0x40 + (i * 7 + nextSeq));
-    fillPayload(fd.bytes.data() + txHeaderBytes,
-                static_cast<unsigned>(fd.bytes.size()) - txHeaderBytes,
-                nextSeq);
+    fd.desc = FrameDesc{nextSeq, nextSeq, 0,
+                        frame - ethCrcBytes - txHeaderBytes};
     ++nextSeq;
     ++offered;
     if (!sink(std::move(fd)))
@@ -55,17 +52,18 @@ FrameSource::generateNext()
 }
 
 void
-FrameSink::deliver(const std::uint8_t *bytes, unsigned len)
+FrameSink::deliver(const FrameView &v)
 {
     ++frames;
-    if (len <= txHeaderBytes) {
+    if (v.len <= txHeaderBytes) {
         ++badPayload;
         return;
     }
-    unsigned plen = len - txHeaderBytes;
+    unsigned plen = v.len - txHeaderBytes;
     payload += plen;
     std::uint32_t seq = 0;
-    if (!checkPayload(bytes + txHeaderBytes, plen, seq)) {
+    std::uint32_t flow = 0;
+    if (!checkFrameView(v, seq, flow) || flow != 0) {
         ++badPayload;
         return;
     }

@@ -93,9 +93,20 @@ class FrameSink
 
     /**
      * Deliver one transmitted frame (header + payload, no CRC).
-     * Validates the payload integrity header and the sequence order.
+     * Validates the payload integrity header and the sequence order;
+     * descriptor-backed views validate in O(1) (see checkFrameView).
      */
-    void deliver(const std::uint8_t *bytes, unsigned len);
+    void deliver(const FrameView &v);
+
+    /** Byte-buffer convenience overload. */
+    void
+    deliver(const std::uint8_t *bytes, unsigned len)
+    {
+        FrameView v;
+        v.bytes = bytes;
+        v.len = len;
+        deliver(v);
+    }
 
     std::uint64_t framesReceived() const { return frames.value(); }
     std::uint64_t payloadBytesReceived() const { return payload.value(); }

@@ -109,4 +109,43 @@ checkPayload(const std::uint8_t *payload, unsigned len, std::uint32_t &seq)
     return checkPayload(payload, len, seq, flow) && flow == 0;
 }
 
+void
+fillFrameHeader(std::uint8_t *dst, unsigned len, std::uint32_t hdr_seed)
+{
+    for (unsigned i = 0; i < len; ++i)
+        dst[i] = frameHeaderByte(hdr_seed, i);
+}
+
+void
+materializeFrame(const FrameDesc &d, std::uint8_t *dst)
+{
+    fillFrameHeader(dst, txHeaderBytes, d.hdrSeed);
+    fillPayload(dst + txHeaderBytes, d.payLen, d.seq, d.flow);
+}
+
+void
+materializeFrameRange(const FrameDesc &d, unsigned off, unsigned len,
+                      std::uint8_t *dst)
+{
+    panic_if(off + len > d.totalLen(),
+             "frame range out of bounds: off=", off, " len=", len);
+    if (!len)
+        return;
+    // The payload pattern is strictly sequential, so generate the whole
+    // frame into a scratch buffer and copy the requested window; frames
+    // are at most ~1.5 KB and partial materialization is a cold path.
+    static thread_local std::vector<std::uint8_t> scratch;
+    scratch.resize(d.totalLen());
+    materializeFrame(d, scratch.data());
+    std::memcpy(dst, scratch.data() + off, len);
+}
+
+std::uint8_t
+frameDescByte(const FrameDesc &d, unsigned i)
+{
+    std::uint8_t b = 0;
+    materializeFrameRange(d, i, 1, &b);
+    return b;
+}
+
 } // namespace tengig

@@ -16,6 +16,7 @@
 #define TENGIG_NET_FRAME_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/types.hh"
@@ -86,23 +87,129 @@ lineRateUdpGbps(unsigned payload_bytes)
 }
 
 /**
- * A frame as it exists in the simulation: real bytes.  The first 16
- * payload bytes carry a sequence number, the payload length, a
- * checksum over the rest, and a magic word tagged with a 16-bit flow
- * id, letting every consumer validate integrity and *per-flow*
- * ordering after the full host-memory -> SDRAM -> wire journey.
- * Single-stream workloads are simply flow 0.
+ * Compact descriptor for a frame whose bytes are a pure function of a
+ * few parameters: a 42-byte protocol-header stand-in (byte i is
+ * 0x40 + (i*7 + hdrSeed)) followed by a fillPayload(seq, flow) payload
+ * of payLen bytes.  Every steady-state frame in the simulator has this
+ * shape, so the data path can move 16-byte descriptors instead of
+ * ~1.5 KB byte vectors and validate them in O(1); real bytes are
+ * materialized only when something reads a frame region non-uniformly
+ * (see src/mem/overlay.hh).
+ */
+struct FrameDesc
+{
+    std::uint32_t hdrSeed = 0; //!< header filler seed
+    std::uint32_t seq = 0;     //!< payload sequence number
+    std::uint32_t flow = 0;    //!< payload flow tag
+    std::uint32_t payLen = 0;  //!< payload bytes (total = 42 + payLen)
+
+    unsigned totalLen() const { return txHeaderBytes + payLen; }
+
+    bool
+    operator==(const FrameDesc &o) const
+    {
+        return hdrSeed == o.hdrSeed && seq == o.seq && flow == o.flow &&
+               payLen == o.payLen;
+    }
+    bool operator!=(const FrameDesc &o) const { return !(*this == o); }
+};
+
+/** Byte @p i of the deterministic 42-byte header filler. */
+inline std::uint8_t
+frameHeaderByte(std::uint32_t hdr_seed, unsigned i)
+{
+    return static_cast<std::uint8_t>(0x40 + (i * 7 + hdr_seed));
+}
+
+/** Fill @p len bytes of header filler starting at header offset 0. */
+void fillFrameHeader(std::uint8_t *dst, unsigned len,
+                     std::uint32_t hdr_seed);
+
+/** Byte @p i (frame-relative) of the frame a descriptor denotes. */
+std::uint8_t frameDescByte(const FrameDesc &d, unsigned i);
+
+/** Materialize a whole descriptor frame (header + payload) into @p dst. */
+void materializeFrame(const FrameDesc &d, std::uint8_t *dst);
+
+/** Materialize frame-relative bytes [off, off+len) of a descriptor. */
+void materializeFrameRange(const FrameDesc &d, unsigned off, unsigned len,
+                           std::uint8_t *dst);
+
+/**
+ * A delivered frame: either real bytes or a pattern descriptor.
+ * Exactly one of (bytes, desc) is set.  Consumers that only need
+ * integrity/ordering metadata read the descriptor in O(1); byte-level
+ * consumers call the bytes side (present whenever a frame was
+ * materialized anywhere along its journey, e.g. after corruption).
+ */
+struct FrameView
+{
+    const std::uint8_t *bytes = nullptr; //!< header + payload (no CRC)
+    unsigned len = 0;                    //!< bytes in the frame (no CRC)
+    const FrameDesc *desc = nullptr;     //!< set iff bytes == nullptr
+
+    unsigned
+    frameBytes() const
+    {
+        unsigned f = len + ethCrcBytes;
+        return f < ethMinFrameBytes ? ethMinFrameBytes : f;
+    }
+};
+
+/**
+ * A frame as it exists in the simulation.  Steady-state frames carry
+ * only a FrameDesc; frames built or mutated byte-by-byte (tests,
+ * corruption paths) carry real bytes.  The first 16 payload bytes
+ * carry a sequence number, the payload length, a checksum over the
+ * rest, and a magic word tagged with a 16-bit flow id, letting every
+ * consumer validate integrity and *per-flow* ordering after the full
+ * host-memory -> SDRAM -> wire journey.  Single-stream workloads are
+ * simply flow 0.
  */
 struct FrameData
 {
     std::vector<std::uint8_t> bytes; //!< header + payload (no CRC)
+    std::optional<FrameDesc> desc;   //!< set iff bytes is empty
+
+    /** Frame length excluding CRC. */
+    unsigned
+    size() const
+    {
+        return desc ? desc->totalLen()
+                    : static_cast<unsigned>(bytes.size());
+    }
 
     unsigned
     frameBytes() const
     {
         // On-wire length includes CRC.
-        unsigned f = static_cast<unsigned>(bytes.size()) + ethCrcBytes;
+        unsigned f = size() + ethCrcBytes;
         return f < ethMinFrameBytes ? ethMinFrameBytes : f;
+    }
+
+    /** Expand a descriptor frame into real bytes (no-op if already). */
+    void
+    materialize()
+    {
+        if (!desc)
+            return;
+        bytes.resize(desc->totalLen());
+        materializeFrame(*desc, bytes.data());
+        desc.reset();
+    }
+
+    FrameView
+    view() const
+    {
+        FrameView v;
+        if (desc) {
+            v.desc = &*desc;
+            v.len = desc->totalLen();
+        } else {
+            v.bytes = bytes.data();
+            v.len = static_cast<unsigned>(bytes.size());
+        }
+        return v;
     }
 };
 
@@ -145,6 +252,46 @@ bool checkPayload(const std::uint8_t *payload, unsigned len,
  */
 bool peekPayload(const std::uint8_t *payload, unsigned len,
                  std::uint32_t &seq, std::uint32_t &flow);
+
+/**
+ * Validate the payload of a whole-frame view (42-byte header +
+ * payload).  Descriptor-backed views validate in O(1): a descriptor
+ * *is* the statement that the frame's bytes equal
+ * fillPayload(seq, flow) behind a filler header, because descriptors
+ * only survive hops that move them losslessly — any byte-level
+ * mutation materializes the frame and lands on the byte path below.
+ * Byte-backed views pay the full checksum walk.
+ */
+inline bool
+checkFrameView(const FrameView &v, std::uint32_t &seq,
+               std::uint32_t &flow)
+{
+    if (v.desc) {
+        seq = v.desc->seq;
+        flow = v.desc->flow;
+        return v.desc->payLen >= 16 && v.desc->flow <= maxFlowId;
+    }
+    if (v.len < txHeaderBytes)
+        return false;
+    return checkPayload(v.bytes + txHeaderBytes, v.len - txHeaderBytes,
+                        seq, flow);
+}
+
+/** peekPayload analogue of checkFrameView (no checksum on byte path). */
+inline bool
+peekFrameView(const FrameView &v, std::uint32_t &seq,
+              std::uint32_t &flow)
+{
+    if (v.desc) {
+        seq = v.desc->seq;
+        flow = v.desc->flow;
+        return v.desc->payLen >= 16 && v.desc->flow <= maxFlowId;
+    }
+    if (v.len < txHeaderBytes)
+        return false;
+    return peekPayload(v.bytes + txHeaderBytes, v.len - txHeaderBytes,
+                       seq, flow);
+}
 
 } // namespace tengig
 

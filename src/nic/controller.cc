@@ -56,22 +56,15 @@ NicController::build()
     if (cfg.rxTraffic.enabled()) {
         // Per-flow validation replaces the driver's single-stream
         // sequence check in the receive direction.
-        driver->onRxDeliver([this](const std::uint8_t *bytes,
-                                   unsigned len) {
-            rxFlow.deliver(bytes, len);
-        });
+        driver->onRxDeliver(
+            [this](const FrameView &v) { rxFlow.deliver(v); });
     }
     // Latency tap: close out the per-frame arrival timestamps taken in
     // rxArrived().  Observes delivery; validation is untouched.
-    driver->onRxDelivered([this](const std::uint8_t *bytes,
-                                 unsigned len) {
-        if (len <= txHeaderBytes)
-            return;
+    driver->onRxDelivered([this](const FrameView &v) {
         std::uint32_t seq = 0, flow = 0;
-        if (!peekPayload(bytes + txHeaderBytes, len - txHeaderBytes,
-                         seq, flow)) {
+        if (!peekFrameView(v, seq, flow))
             return;
-        }
         std::uint64_t key = (static_cast<std::uint64_t>(flow) << 32) |
             seq;
         auto it = rxInFlight.find(key);
@@ -96,10 +89,8 @@ NicController::build()
     if (cfg.txTraffic.enabled()) {
         macTx = std::make_unique<MacTx>(
             eq, *cpuClk, *ram,
-            MacTx::Deliver([this](const std::uint8_t *bytes,
-                                  unsigned len) {
-                txFlow.deliver(bytes, len);
-            }),
+            MacTx::Deliver(
+                [this](const FrameView &v) { txFlow.deliver(v); }),
             sdMacTx, cfg.macTxFifoDepth);
     } else {
         macTx = std::make_unique<MacTx>(eq, *cpuClk, *ram, sink, sdMacTx,
@@ -188,11 +179,7 @@ NicController::rxArrived(FrameData &&fd)
     // the delivery tap in rxCompletion() closes the pair.  Only frames
     // the MAC accepts are tracked (drops never deliver).
     std::uint32_t seq = 0, flow = 0;
-    bool tagged = fd.bytes.size() > txHeaderBytes &&
-        peekPayload(fd.bytes.data() + txHeaderBytes,
-                    static_cast<unsigned>(fd.bytes.size()) -
-                        txHeaderBytes,
-                    seq, flow);
+    bool tagged = peekFrameView(fd.view(), seq, flow);
     Tick now = eq.curTick();
     if (cfg.idleSleep) {
         // Wake before the MAC touches any memory for this frame, so
@@ -249,6 +236,13 @@ NicController::registerAllStats()
 
     spad->registerStats(statRoot.group("spad"));
     ram->registerStats(statRoot.group("sdram"));
+    statRoot.group("hostMem").derived(
+        "materializations",
+        [this] {
+            return static_cast<double>(
+                hostMem->store().materializations());
+        },
+        "pattern spans expanded to bytes (0 = fully virtual)");
     dmaRead->registerStats(statRoot.group("dmaRead"));
     dmaWrite->registerStats(statRoot.group("dmaWrite"));
     macTx->registerStats(statRoot.group("macTx"));

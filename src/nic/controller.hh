@@ -150,6 +150,7 @@ class NicController
     FwState &firmwareState() { return *fwState; }
     Scratchpad &scratchpad() { return *spad; }
     GddrSdram &sdram() { return *ram; }
+    HostMemory &hostMemory() { return *hostMem; }
     const NicConfig &config() const { return cfg; }
 
     /** Per-flow wire-side transmit validator (txTraffic runs). */

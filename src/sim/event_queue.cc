@@ -33,65 +33,28 @@ EventQueue::releaseSlot(std::uint32_t idx)
     freeSlots.push_back(idx);
 }
 
-void
-EventQueue::siftUp(std::size_t i)
-{
-    HeapEntry e = heap[i];
-    while (i > 0) {
-        std::size_t parent = (i - 1) / 2;
-        if (!laterThan(heap[parent], e))
-            break;
-        heap[i] = heap[parent];
-        i = parent;
-    }
-    heap[i] = e;
-}
-
-void
-EventQueue::siftDown(std::size_t i)
-{
-    HeapEntry e = heap[i];
-    std::size_t n = heap.size();
-    while (true) {
-        std::size_t child = 2 * i + 1;
-        if (child >= n)
-            break;
-        if (child + 1 < n && laterThan(heap[child], heap[child + 1]))
-            ++child;
-        if (!laterThan(e, heap[child]))
-            break;
-        heap[i] = heap[child];
-        i = child;
-    }
-    heap[i] = e;
-}
-
 std::uint32_t
-EventQueue::popTop()
+EventQueue::popSoonest()
 {
-    std::uint32_t idx = heap[0].slot;
-    heap[0] = heap.back();
-    heap.pop_back();
-    if (!heap.empty())
-        siftDown(0);
+    std::uint32_t idx = pending.back().slot;
+    pending.pop_back();
     return idx;
 }
 
 void
 EventQueue::compact()
 {
+    // A stable filter preserves the sorted order; no re-sort needed.
     std::size_t out = 0;
-    for (std::size_t i = 0; i < heap.size(); ++i) {
-        std::uint32_t idx = heap[i].slot;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        std::uint32_t idx = pending[i].slot;
         if (slots[idx].alive)
-            heap[out++] = heap[i];
+            pending[out++] = pending[i];
         else
             releaseSlot(idx);
     }
-    heap.resize(out);
-    deadInHeap = 0;
-    for (std::size_t i = heap.size() / 2; i-- > 0;)
-        siftDown(i);
+    pending.resize(out);
+    deadInList = 0;
 }
 
 EventId
@@ -105,9 +68,18 @@ EventQueue::schedule(Tick when, Callback fn, EventPriority prio)
     Slot &s = slots[idx];
     s.fn = std::move(fn);
     s.alive = true;
-    heap.push_back(
-        HeapEntry{when, static_cast<std::int32_t>(prio), idx, nextSeq++});
-    siftUp(heap.size() - 1);
+    PendingEntry e{when, static_cast<std::int32_t>(prio), idx, nextSeq++};
+    // Nearly every event fires within a cycle or two, so its place is
+    // at or near the back (the soonest end); scan from there.
+    std::size_t i = pending.size();
+    if (i == 0 || !laterThan(e, pending[i - 1])) {
+        pending.push_back(e); // fires before everything pending
+    } else {
+        --i;
+        while (i > 0 && laterThan(e, pending[i - 1]))
+            --i;
+        pending.insert(pending.begin() + i, e);
+    }
     ++liveCount;
     return makeId(idx, s.generation);
 }
@@ -121,14 +93,14 @@ EventQueue::cancel(EventId id)
     Slot &s = slots[encoded - 1];
     if (!s.alive || s.generation != static_cast<std::uint32_t>(id))
         return false;
-    // The heap entry stays behind as a tombstone; bumping the
+    // The pending entry stays behind as a tombstone; bumping the
     // generation makes it (and any stale copies of this id) dead.
     s.alive = false;
     s.fn.reset();
     ++s.generation;
     --liveCount;
-    ++deadInHeap;
-    if (deadInHeap > liveCount && heap.size() >= 64)
+    ++deadInList;
+    if (deadInList > liveCount && pending.size() >= 64)
         compact();
     return true;
 }
@@ -136,12 +108,12 @@ EventQueue::cancel(EventId id)
 bool
 EventQueue::fireNext()
 {
-    while (!heap.empty()) {
-        Tick when = heap[0].when;
-        std::uint32_t idx = popTop();
+    while (!pending.empty()) {
+        Tick when = pending.back().when;
+        std::uint32_t idx = popSoonest();
         Slot &s = slots[idx];
         if (!s.alive) {
-            --deadInHeap;
+            --deadInList;
             releaseSlot(idx);
             continue; // cancelled
         }
@@ -171,19 +143,33 @@ EventQueue::step()
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!heap.empty()) {
-        // Drop dead tombstones at the top without executing anything --
-        // a slot flag load, no hash lookup -- so empty() reflects
-        // reality even when we stop early at the limit.
-        if (!slots[heap[0].slot].alive) {
-            std::uint32_t idx = popTop();
-            --deadInHeap;
+    // Open-coded fireNext() so each iteration inspects the soonest
+    // entry exactly once; this loop is the simulator's hot spine.
+    while (!pending.empty()) {
+        const PendingEntry &top = pending.back();
+        std::uint32_t idx = top.slot;
+        Slot &s = slots[idx];
+        if (!s.alive) {
+            // Drop dead tombstones at the soonest end without executing
+            // anything -- a slot flag load, no hash lookup -- so
+            // empty() reflects reality even when we stop early.
+            pending.pop_back();
+            --deadInList;
             releaseSlot(idx);
             continue;
         }
-        if (heap[0].when > limit)
+        if (top.when > limit)
             break;
-        fireNext();
+        Tick when = top.when;
+        pending.pop_back();
+        Callback fn = std::move(s.fn);
+        s.alive = false;
+        ++s.generation;
+        --liveCount;
+        releaseSlot(idx);
+        _curTick = when;
+        ++executed;
+        fn();
     }
     return _curTick;
 }

@@ -8,9 +8,14 @@
  * are globally ordered, mirroring the Liberty/Spinach execution model the
  * paper's simulator was built on.
  *
- * Internals (see DESIGN.md §10): the heap holds small POD entries only;
- * callbacks live out-of-line in a recycled slot table addressed by the
- * entry, so sift operations never move closures and firing moves the
+ * Internals (see DESIGN.md §10): the pending list holds small POD
+ * entries only, kept sorted latest-first so the soonest event is at the
+ * back -- firing is a pop_back and insertion is a short scan from the
+ * back, since almost every event is scheduled within a cycle or two of
+ * now.  (The live population is tiny -- single digits in steady state --
+ * so an ordered array beats a binary heap's sift traffic.)  Callbacks
+ * live out-of-line in a recycled slot table addressed by the entry, so
+ * insertion shuffles PODs, never closures, and firing moves the
  * callback out exactly once.  EventIds carry the slot's generation
  * counter, making cancellation an O(1) tag compare with no hash set.
  */
@@ -46,7 +51,11 @@ constexpr EventId invalidEventId = 0;
  */
 enum class EventPriority : int
 {
-    HardwareProgress = -2, //!< assist progress-pointer updates
+    HardwareProgress = -2,  //!< assist progress-pointer updates
+    ChainedCompletion = -1, //!< batched-burst mid-chain completion: runs
+                            //!< after every hardware event at its tick so
+                            //!< same-tick arrivals can still unbatch the
+                            //!< chain (see GddrSdram burst chaining)
     Default = 0,
     Cpu = 1,               //!< core activity runs after hardware at a tick
     Stats = 100,           //!< sampling runs after everything else
@@ -132,11 +141,11 @@ class EventQueue
 
   private:
     /**
-     * Heap node: 24 trivially-copyable bytes.  The callback stays in
-     * the slot table so sift-up/down shuffles PODs, not closures.
+     * Pending-list node: 24 trivially-copyable bytes.  The callback
+     * stays in the slot table so insertion shuffles PODs, not closures.
      * seq preserves insertion order among equal (when, prio) pairs.
      */
-    struct HeapEntry
+    struct PendingEntry
     {
         Tick when;
         std::int32_t prio;
@@ -154,7 +163,7 @@ class EventQueue
 
     /** @return true if @p a fires after @p b. */
     static bool
-    laterThan(const HeapEntry &a, const HeapEntry &b)
+    laterThan(const PendingEntry &a, const PendingEntry &b)
     {
         if (a.when != b.when)
             return a.when > b.when;
@@ -164,19 +173,18 @@ class EventQueue
     }
 
     bool fireNext();
-    void siftUp(std::size_t i);
-    void siftDown(std::size_t i);
     std::uint32_t acquireSlot();
     void releaseSlot(std::uint32_t idx);
     void compact();
-    /** Pop the heap top; @return its slot index. */
-    std::uint32_t popTop();
+    /** Pop the soonest entry off the back; @return its slot index. */
+    std::uint32_t popSoonest();
 
-    std::vector<HeapEntry> heap;
+    /** Sorted latest-first: the soonest-firing entry is at the back. */
+    std::vector<PendingEntry> pending;
     std::vector<Slot> slots;
     std::vector<std::uint32_t> freeSlots;
     std::size_t liveCount = 0;
-    std::size_t deadInHeap = 0;
+    std::size_t deadInList = 0;
     Tick _curTick = 0;
     std::uint64_t nextSeq = 1;
     std::uint64_t executed = 0;

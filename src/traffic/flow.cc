@@ -62,16 +62,12 @@ makeFlowFrame(std::uint32_t flow, std::uint32_t seq,
               unsigned payload_bytes)
 {
     unsigned frame = frameBytesForPayload(payload_bytes);
+    // Descriptor-only frame: header filler seeded by (seq + flow*13),
+    // payload = fillPayload(seq, flow).  Bytes materialize only when a
+    // consumer reads the frame non-uniformly (FrameData::materialize).
     FrameData fd;
-    fd.bytes.resize(frame - ethCrcBytes);
-    // Header region: deterministic filler standing in for the Ethernet/
-    // IP/UDP headers of this flow's datagram.
-    for (unsigned i = 0; i < txHeaderBytes; ++i)
-        fd.bytes[i] =
-            static_cast<std::uint8_t>(0x40 + (i * 7 + seq + flow * 13));
-    fillPayload(fd.bytes.data() + txHeaderBytes,
-                static_cast<unsigned>(fd.bytes.size()) - txHeaderBytes,
-                seq, flow);
+    fd.desc = FrameDesc{seq + flow * 13, seq, flow,
+                        frame - ethCrcBytes - txHeaderBytes};
     return fd;
 }
 

@@ -3,16 +3,16 @@
 namespace tengig {
 
 void
-FlowSink::deliver(const std::uint8_t *bytes, unsigned len)
+FlowSink::deliver(const FrameView &v)
 {
     ++frames;
-    if (len <= txHeaderBytes) {
+    if (v.len <= txHeaderBytes) {
         ++badPayload;
         return;
     }
-    unsigned plen = len - txHeaderBytes;
+    unsigned plen = v.len - txHeaderBytes;
     std::uint32_t seq = 0, flow_id = 0;
-    if (!checkPayload(bytes + txHeaderBytes, plen, seq, flow_id)) {
+    if (!checkFrameView(v, seq, flow_id)) {
         ++badPayload;
         return;
     }

@@ -44,8 +44,19 @@ class FlowSink
 
     explicit FlowSink(bool lossless = true) : lossless(lossless) {}
 
-    /** Deliver one frame (header + payload, no CRC). */
-    void deliver(const std::uint8_t *bytes, unsigned len);
+    /** Deliver one frame (header + payload, no CRC); descriptor-backed
+     *  views validate in O(1) (see checkFrameView). */
+    void deliver(const FrameView &v);
+
+    /** Byte-buffer convenience overload. */
+    void
+    deliver(const std::uint8_t *bytes, unsigned len)
+    {
+        FrameView v;
+        v.bytes = bytes;
+        v.len = len;
+        deliver(v);
+    }
 
     /// @name Aggregate results
     /// @{

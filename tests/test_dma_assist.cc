@@ -45,7 +45,7 @@ TEST_F(DmaFixture, HostToSdramMovesBytes)
     bool done = false;
     eq.schedule(0, [&] {
         assist.push(DmaCommand{DmaCommand::Kind::HostToSdram, 0x1000,
-                               0x8000, payload.size(),
+                               0x8000, payload.size(), 0,
                                [&] { done = true; }});
     });
     eq.run();
@@ -62,7 +62,7 @@ TEST_F(DmaFixture, SdramToHostMovesBytes)
     ram.writeBytes(0x2000, payload.data(), payload.size());
     eq.schedule(0, [&] {
         assist.push(DmaCommand{DmaCommand::Kind::SdramToHost, 0x4000,
-                               0x2000, payload.size(), nullptr});
+                               0x2000, payload.size(), 0, nullptr});
     });
     eq.run();
     std::vector<std::uint8_t> out(payload.size());
@@ -78,7 +78,7 @@ TEST_F(DmaFixture, HostToSpadWritesDescriptors)
     host.write(0x3000, bds.data(), 64);
     eq.schedule(0, [&] {
         assist.push(DmaCommand{DmaCommand::Kind::HostToSpad, 0x3000,
-                               0x400, 64, nullptr});
+                               0x400, 64, 0, nullptr});
     });
     eq.run();
     for (unsigned i = 0; i < 16; ++i)
@@ -92,7 +92,7 @@ TEST_F(DmaFixture, SpadToHostReadsDescriptors)
     spad.storage().storeWord(0x500, 0xcafef00d);
     eq.schedule(0, [&] {
         assist.push(DmaCommand{DmaCommand::Kind::SpadToHost, 0x6000,
-                               0x500, 4, nullptr});
+                               0x500, 4, 0, nullptr});
     });
     eq.run();
     std::uint32_t v = 0;
@@ -107,10 +107,10 @@ TEST_F(DmaFixture, CommandsCompleteInFifoOrder)
         // A long SDRAM transfer first, short scratchpad one second:
         // strict FIFO means the short one still finishes second.
         assist.push(DmaCommand{DmaCommand::Kind::HostToSdram, 0x1000,
-                               0x8000, 1518,
+                               0x8000, 1518, 0,
                                [&] { order.push_back(1); }});
         assist.push(DmaCommand{DmaCommand::Kind::SpadToHost, 0x6000,
-                               0x500, 4, [&] { order.push_back(2); }});
+                               0x500, 4, 0, [&] { order.push_back(2); }});
     });
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
@@ -122,11 +122,11 @@ TEST_F(DmaFixture, FifoBackpressure)
         for (int i = 0; i < 4; ++i) {
             EXPECT_TRUE(assist.push(DmaCommand{
                 DmaCommand::Kind::HostToSdram, 0x1000,
-                static_cast<Addr>(0x8000 + 2048 * i), 1518, nullptr}));
+                static_cast<Addr>(0x8000 + 2048 * i), 1518, 0, nullptr}));
         }
         EXPECT_TRUE(assist.full());
         EXPECT_FALSE(assist.push(DmaCommand{
-            DmaCommand::Kind::HostToSdram, 0x1000, 0x8000, 64,
+            DmaCommand::Kind::HostToSdram, 0x1000, 0x8000, 64, 0,
             nullptr}));
     });
     eq.run();
@@ -139,11 +139,108 @@ TEST_F(DmaFixture, SpadTransferMovesOneWordPerCycle)
     eq.schedule(0, [&] {
         start = eq.curTick();
         assist.push(DmaCommand{DmaCommand::Kind::HostToSpad, 0x3000,
-                               0x400, 64, [&] { end = eq.curTick(); }});
+                               0x400, 64, 0, [&] { end = eq.curTick(); }});
     });
     eq.run();
     // 16 words at >= 1 cycle each (accept latency pipelines to
     // one word per cycle): at least 16 cycles, well under 64.
     EXPECT_GE(end - start, 16 * 5000u);
     EXPECT_LE(end - start, 64 * 5000u);
+}
+
+TEST_F(DmaFixture, PushPairIsAtomicAndFusesTheSdramBursts)
+{
+    // The TX shape: a completion-less header command followed by the
+    // SDRAM-contiguous payload of the same frame.  Posted as a pair,
+    // an idle engine still sees both and issues one fused burst pair.
+    FrameDesc d{1, 0, 0, 1472};
+    host.store().putFrame(0x1000, d);
+
+    bool done = false;
+    eq.schedule(0, [&] {
+        ASSERT_TRUE(assist.pushPair(
+            DmaCommand{DmaCommand::Kind::HostToSdram, 0x1000, 0x8000,
+                       txHeaderBytes, 0, nullptr},
+            DmaCommand{DmaCommand::Kind::HostToSdram,
+                       0x1000 + txHeaderBytes, 0x8000 + txHeaderBytes,
+                       1472, 1472, [&] { done = true; }}));
+    });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(ram.chainedBursts(), 1u);
+    EXPECT_EQ(assist.commandsCompleted(), 2u);
+    EXPECT_EQ(assist.headerBytesMoved(), txHeaderBytes);
+    EXPECT_EQ(assist.payloadBytesMoved(), 1472u);
+
+    // The frame moved as a descriptor: still virtual on both sides.
+    auto v = ram.viewFrame(0x8000, d.totalLen());
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, d);
+    EXPECT_EQ(ram.store().materializations(), 0u);
+    EXPECT_EQ(host.store().materializations(), 0u);
+}
+
+TEST_F(DmaFixture, PushPairRejectsWhenTheFifoCannotTakeBoth)
+{
+    // fifo depth is 4; three queued commands leave room for only one.
+    eq.schedule(0, [&] {
+        for (int i = 0; i < 3; ++i)
+            assist.push(DmaCommand{DmaCommand::Kind::HostToSdram, 0,
+                                   0x100, 64, 0, nullptr});
+        EXPECT_FALSE(assist.pushPair(
+            DmaCommand{DmaCommand::Kind::HostToSdram, 0, 0x200, 64, 0,
+                       nullptr},
+            DmaCommand{DmaCommand::Kind::HostToSdram, 0, 0x240, 64, 0,
+                       nullptr}));
+        EXPECT_EQ(assist.depth(), 3u); // neither half was enqueued
+    });
+    eq.run();
+    EXPECT_EQ(assist.commandsCompleted(), 3u);
+}
+
+TEST_F(DmaFixture, PushPairCompletionTimingMatchesTwoPushes)
+{
+    // Same commands, two engines: pair-posted vs singly-posted while
+    // idle (the engine starts the first command before the second
+    // push lands, so no fusion happens there).  The pair must complete
+    // at exactly the same tick -- batching is host-side only.
+    FrameDesc d{1, 0, 0, 1472};
+    host.store().putFrame(0x1000, d);
+
+    Tick pairDone = 0;
+    eq.schedule(0, [&] {
+        assist.pushPair(
+            DmaCommand{DmaCommand::Kind::HostToSdram, 0x1000, 0x8000,
+                       txHeaderBytes, 0, nullptr},
+            DmaCommand{DmaCommand::Kind::HostToSdram,
+                       0x1000 + txHeaderBytes, 0x8000 + txHeaderBytes,
+                       1472, 1472, [&](){ pairDone = eq.curTick(); }});
+    });
+    eq.run();
+
+    EventQueue eq2;
+    ClockDomain cpu2("cpu", 5000), bus2("membus", 2000);
+    Scratchpad spad2(eq2, cpu2, 8, 64 * 1024, 4);
+    GddrSdram ram2(eq2, bus2, GddrSdram::Config{});
+    HostMemory host2(1024 * 1024);
+    DmaAssist assist2(eq2, cpu2, spad2, ram2, host2, 6, 0, 4);
+    host2.store().putFrame(0x1000, d);
+    Tick singleDone = 0;
+    eq2.schedule(0, [&] {
+        assist2.push(DmaCommand{DmaCommand::Kind::HostToSdram, 0x1000,
+                                0x8000, txHeaderBytes, 0, nullptr});
+        assist2.push(DmaCommand{DmaCommand::Kind::HostToSdram,
+                                0x1000 + txHeaderBytes,
+                                0x8000 + txHeaderBytes, 1472, 1472,
+                                [&](){ singleDone = eq2.curTick(); }});
+    });
+    eq2.run();
+
+    EXPECT_GT(pairDone, 0u);
+    EXPECT_EQ(pairDone, singleDone);
+    EXPECT_EQ(ram.chainedBursts(), 1u);
+    EXPECT_EQ(ram2.chainedBursts(), 0u); // engine started the head alone
+    EXPECT_EQ(ram.burstCount(), ram2.burstCount());
+    EXPECT_EQ(ram.busyTickCount(), ram2.busyTickCount());
+    EXPECT_EQ(ram.transferredBytes(), ram2.transferredBytes());
 }

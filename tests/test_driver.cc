@@ -54,9 +54,11 @@ TEST_F(DriverFixture, PostSendFramesWritesTwoBdsPerFrame)
         EXPECT_TRUE(pay.flags & BufferDesc::flagLast);
         EXPECT_EQ(pay.hostAddr, hdr.hostAddr + txHeaderBytes);
 
-        // Payload is validatable and carries the frame sequence.
+        // Payload is validatable and carries the frame sequence
+        // (bytesFor materializes the posted pattern span).
         std::uint32_t seq = 0;
-        EXPECT_TRUE(checkPayload(host.data(pay.hostAddr), pay.len, seq));
+        EXPECT_TRUE(checkPayload(host.bytesFor(pay.hostAddr, pay.len),
+                                 pay.len, seq));
         EXPECT_EQ(seq, f);
     }
 }
@@ -175,8 +177,8 @@ TEST_F(DriverFixture, TsoPostsOnePairPerGroup)
     // Every segment's payload validates with consecutive sequences.
     for (unsigned s = 0; s < 4; ++s) {
         std::uint32_t seq = 0;
-        EXPECT_TRUE(checkPayload(host.data(pay.hostAddr + s * 1000),
-                                 1000, seq));
+        EXPECT_TRUE(checkPayload(
+            host.bytesFor(pay.hostAddr + s * 1000, 1000), 1000, seq));
         EXPECT_EQ(seq, s);
     }
 }

@@ -15,7 +15,7 @@ TEST(FrameSource, PacesAtLineRate)
     std::vector<Tick> arrivals;
     FrameSource src(eq, 1472, 1.0, [&](FrameData &&fd) {
         arrivals.push_back(eq.curTick());
-        EXPECT_EQ(fd.bytes.size(), 1514u); // 1518 minus CRC
+        EXPECT_EQ(fd.size(), 1514u); // 1518 minus CRC
         return true;
     });
     src.setFrameLimit(5);
@@ -75,6 +75,9 @@ TEST(FrameSource, PayloadsValidateAtTheSink)
     eq.run();
     ASSERT_EQ(frames.size(), 4u);
     for (std::size_t i = 0; i < frames.size(); ++i) {
+        // Source frames are descriptor-backed; expanding them must
+        // yield payloads that validate byte-for-byte.
+        frames[i].materialize();
         std::uint32_t seq = 0;
         ASSERT_TRUE(checkPayload(frames[i].bytes.data() + txHeaderBytes,
                                  static_cast<unsigned>(

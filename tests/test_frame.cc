@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "net/frame.hh"
@@ -109,4 +111,132 @@ TEST(PayloadIntegrity, DistinctSequencesProduceDistinctPatterns)
     fillPayload(a.data(), 128, 1);
     fillPayload(b.data(), 128, 2);
     EXPECT_NE(a, b);
+}
+
+TEST(FrameDescriptor, MaterializedBytesMatchTheDescriptorContract)
+{
+    // A descriptor *is* the claim that the frame's bytes are a filler
+    // header followed by fillPayload(seq, flow); materializing must
+    // honor that contract byte for byte.
+    FrameDesc d{/*hdrSeed=*/17, /*seq=*/5, /*flow=*/3, /*payLen=*/256};
+    std::vector<std::uint8_t> buf(d.totalLen());
+    materializeFrame(d, buf.data());
+
+    for (unsigned i = 0; i < txHeaderBytes; ++i)
+        ASSERT_EQ(buf[i], frameHeaderByte(17, i)) << "header byte " << i;
+
+    std::vector<std::uint8_t> pay(256);
+    fillPayload(pay.data(), 256, 5, 3);
+    EXPECT_TRUE(std::equal(pay.begin(), pay.end(),
+                           buf.begin() + txHeaderBytes));
+
+    std::uint32_t seq = 0, flow = 0;
+    EXPECT_TRUE(checkPayload(buf.data() + txHeaderBytes, 256, seq, flow));
+    EXPECT_EQ(seq, 5u);
+    EXPECT_EQ(flow, 3u);
+}
+
+TEST(FrameDescriptor, RangeMaterializationMatchesWholeFrame)
+{
+    FrameDesc d{9, 2, 1, 128};
+    std::vector<std::uint8_t> whole(d.totalLen());
+    materializeFrame(d, whole.data());
+
+    // Arbitrary windows, including ones straddling the header/payload
+    // boundary, must reproduce the same bytes.
+    for (auto [off, len] : {std::pair<unsigned, unsigned>{0, 10},
+                            {40, 8}, {42, 128}, {30, 100}, {0, 170}}) {
+        std::vector<std::uint8_t> part(len, 0xaa);
+        materializeFrameRange(d, off, len, part.data());
+        EXPECT_TRUE(std::equal(part.begin(), part.end(),
+                               whole.begin() + off))
+            << "window off=" << off << " len=" << len;
+    }
+}
+
+TEST(FrameDescriptor, ViewChecksAgreeAcrossDescAndBytePaths)
+{
+    FrameData fd;
+    fd.desc = FrameDesc{1, 11, 2, 300};
+
+    std::uint32_t seq = 0, flow = 0;
+    ASSERT_TRUE(checkFrameView(fd.view(), seq, flow)); // O(1) desc path
+    EXPECT_EQ(seq, 11u);
+    EXPECT_EQ(flow, 2u);
+
+    fd.materialize();
+    ASSERT_FALSE(fd.desc);
+    seq = flow = 0;
+    ASSERT_TRUE(checkFrameView(fd.view(), seq, flow)); // checksum path
+    EXPECT_EQ(seq, 11u);
+    EXPECT_EQ(flow, 2u);
+
+    seq = flow = 0;
+    ASSERT_TRUE(peekFrameView(fd.view(), seq, flow));
+    EXPECT_EQ(seq, 11u);
+    EXPECT_EQ(flow, 2u);
+}
+
+TEST(FrameDescriptor, TruncatedHeaderFailsValidation)
+{
+    FrameData fd;
+    fd.desc = FrameDesc{0, 3, 0, 64};
+    fd.materialize();
+
+    // Chop the frame inside the 42-byte header: no payload to check.
+    FrameView v = fd.view();
+    v.len = txHeaderBytes - 1;
+    std::uint32_t seq = 0, flow = 0;
+    EXPECT_FALSE(checkFrameView(v, seq, flow));
+    EXPECT_FALSE(peekFrameView(v, seq, flow));
+
+    // A descriptor that would denote a runt payload also fails the
+    // O(1) check (the integrity header needs 16 payload bytes).
+    FrameDesc runt{0, 3, 0, 12};
+    FrameView rv;
+    rv.desc = &runt;
+    rv.len = runt.totalLen();
+    EXPECT_FALSE(checkFrameView(rv, seq, flow));
+}
+
+TEST(FrameDescriptor, FlippedPatternByteFailsOnlyTheFullCheck)
+{
+    FrameData fd;
+    fd.desc = FrameDesc{0, 8, 0, 256};
+    fd.materialize();
+    fd.bytes[txHeaderBytes + 60] ^= 0x10; // deep in the pattern
+
+    std::uint32_t seq = 0, flow = 0;
+    EXPECT_FALSE(checkFrameView(fd.view(), seq, flow));
+    // The peek skips the checksum walk by design, so it still reads
+    // the metadata words.
+    EXPECT_TRUE(peekFrameView(fd.view(), seq, flow));
+    EXPECT_EQ(seq, 8u);
+}
+
+TEST(FrameDescriptor, WrongFlowTagIsDetected)
+{
+    // Byte path: stamp flow 2, then corrupt the magic/flow word.
+    std::vector<std::uint8_t> pay(64);
+    fillPayload(pay.data(), 64, 1, 2);
+    std::uint32_t seq = 0, flow = 0;
+    ASSERT_TRUE(checkPayload(pay.data(), 64, seq, flow));
+    ASSERT_EQ(flow, 2u);
+    // The magic word's low half *is* the flow tag: flipping a low bit
+    // keeps the frame structurally valid but surfaces the wrong flow,
+    // which is how a misrouted frame is caught downstream.
+    pay[12] ^= 0x01;
+    ASSERT_TRUE(checkPayload(pay.data(), 64, seq, flow));
+    EXPECT_EQ(flow, 3u);
+    // Corrupting the magic half of the word fails the check outright.
+    pay[14] ^= 0x01;
+    EXPECT_FALSE(checkPayload(pay.data(), 64, seq, flow));
+
+    // Descriptor path: a flow id the integrity header cannot carry
+    // fails the O(1) check instead of silently truncating.
+    FrameDesc bad{0, 1, maxFlowId + 1, 64};
+    FrameView v;
+    v.desc = &bad;
+    v.len = bad.totalLen();
+    EXPECT_FALSE(checkFrameView(v, seq, flow));
 }

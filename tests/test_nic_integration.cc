@@ -61,6 +61,13 @@ TEST(NicDuplex, SixCores200MhzReachesNearLineRate)
     // paper's 6x200 MHz software-only configuration reaches it.
     EXPECT_GT(r.totalUdpGbps, 18.0);
     EXPECT_LE(r.totalUdpGbps, 19.2);
+
+    // The zero-copy contract (DESIGN.md §11): on a clean steady-state
+    // workload every frame crosses the data path as a descriptor and
+    // nothing ever expands a pattern span into bytes.
+    EXPECT_EQ(nic.hostMemory().store().materializations(), 0u);
+    EXPECT_EQ(nic.sdram().store().materializations(), 0u);
+    EXPECT_GT(nic.sdram().chainedBursts(), 0u);
 }
 
 TEST(NicDuplex, RmwEnhancedAt166MhzReachesNearLineRate)

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for the region-overlay byte store: span installation,
+ * trimming, merging, virtual copies, copy-on-access materialization,
+ * and the bounds checks shared by every access path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/overlay.hh"
+
+using namespace tengig;
+
+namespace {
+
+/** Materialize-free oracle: the byte the store must produce at @p a. */
+std::uint8_t
+expectedByte(const FrameDesc &d, Addr base, Addr a)
+{
+    return frameDescByte(d, static_cast<unsigned>(a - base));
+}
+
+std::vector<std::uint8_t>
+readAll(const OverlayMem &m, Addr addr, std::size_t len)
+{
+    std::vector<std::uint8_t> out(len);
+    m.readBytes(addr, out.data(), len);
+    return out;
+}
+
+} // namespace
+
+TEST(Overlay, WholeFrameSpanRoundTripsThroughByteReads)
+{
+    OverlayMem m(4096);
+    FrameDesc d{3, 7, 1, 128};
+    m.putFrame(100, d);
+    EXPECT_EQ(m.spanCount(), 1u);
+    EXPECT_EQ(m.materializations(), 0u);
+
+    auto bytes = readAll(m, 100, d.totalLen());
+    for (Addr a = 0; a < d.totalLen(); ++a)
+        ASSERT_EQ(bytes[a], expectedByte(d, 0, a)) << "offset " << a;
+    // The read materialized the span: counted once, span gone, and the
+    // backing bytes are now authoritative.
+    EXPECT_EQ(m.materializations(), 1u);
+    EXPECT_EQ(m.spanCount(), 0u);
+    EXPECT_EQ(readAll(m, 100, d.totalLen()), bytes);
+    EXPECT_EQ(m.materializations(), 1u); // no span left to expand
+}
+
+TEST(Overlay, HeaderAndPayloadSpansMergeIntoOneFrame)
+{
+    // The driver posts a frame as a header span + a payload span of the
+    // same descriptor; they must coalesce so viewFrame sees one whole
+    // frame.
+    OverlayMem m(4096);
+    FrameDesc d{9, 4, 0, 256};
+    m.putSpan(500, {d, 0, txHeaderBytes});
+    m.putSpan(500 + txHeaderBytes, {d, txHeaderBytes, 256});
+    EXPECT_EQ(m.spanCount(), 1u);
+
+    auto v = m.viewFrame(500, d.totalLen());
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, d);
+    EXPECT_EQ(m.materializations(), 0u);
+}
+
+TEST(Overlay, TsoHeaderSpanAdoptsFirstSegmentsPayloadDescriptor)
+{
+    // TSO shape: one header-filler span (identified only by hdrSeed)
+    // ahead of per-segment payload descriptors.  The header span
+    // merges with the first segment by adopting its identity.
+    OverlayMem m(8192);
+    std::uint32_t hdr_seed = 77;
+    FrameDesc seg0{hdr_seed, 0, 0, 1000};
+    FrameDesc seg1{hdr_seed, 1, 0, 1000};
+    m.putSpan(0, {FrameDesc{hdr_seed, 0, 0, 1000}, 0, txHeaderBytes});
+    m.putSpan(txHeaderBytes, {seg0, txHeaderBytes, 1000});
+    m.putSpan(txHeaderBytes + 1000, {seg1, txHeaderBytes, 1000});
+    // Header merged into seg0's span; seg1 stays separate (different
+    // sequence number).
+    EXPECT_EQ(m.spanCount(), 2u);
+
+    auto v = m.viewFrame(0, txHeaderBytes + 1000);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, seg0);
+}
+
+TEST(Overlay, ByteWriteTrimsWithoutMaterializing)
+{
+    OverlayMem m(4096);
+    FrameDesc d{1, 2, 0, 128};
+    m.putFrame(0, d);
+
+    // Overwrite a window in the middle: the span splits around it and
+    // nothing materializes (the new bytes supersede the pattern).
+    std::uint8_t junk[8] = {0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe,
+                            0xef};
+    m.writeBytes(60, junk, sizeof(junk));
+    EXPECT_EQ(m.materializations(), 0u);
+    EXPECT_EQ(m.spanCount(), 2u);
+
+    auto bytes = readAll(m, 0, d.totalLen());
+    for (Addr a = 0; a < d.totalLen(); ++a) {
+        std::uint8_t want = (a >= 60 && a < 68)
+            ? junk[a - 60] : expectedByte(d, 0, a);
+        ASSERT_EQ(bytes[a], want) << "offset " << a;
+    }
+}
+
+TEST(Overlay, PartialOverlapTrimsKeepsOutsideParts)
+{
+    OverlayMem m(4096);
+    FrameDesc a{1, 0, 0, 64};
+    FrameDesc b{2, 1, 0, 64};
+    m.putFrame(0, a);                      // [0, 106)
+    m.putFrame(50, b);                     // [50, 156) supersedes middle
+    EXPECT_EQ(m.spanCount(), 2u);          // head of a + all of b
+
+    auto bytes = readAll(m, 0, 156);
+    for (Addr x = 0; x < 50; ++x)
+        ASSERT_EQ(bytes[x], expectedByte(a, 0, x));
+    for (Addr x = 50; x < 156; ++x)
+        ASSERT_EQ(bytes[x], expectedByte(b, 50, x));
+}
+
+TEST(Overlay, CopyFromMovesSpansWithoutExpansion)
+{
+    OverlayMem src(4096), dst(4096);
+    FrameDesc d{5, 9, 2, 300};
+    src.putFrame(40, d);
+
+    dst.copyFrom(src, 40, 1000, d.totalLen());
+    EXPECT_EQ(src.materializations(), 0u);
+    EXPECT_EQ(dst.materializations(), 0u);
+    auto v = dst.viewFrame(1000, d.totalLen());
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, d);
+
+    // Contents are byte-identical to a real copy.
+    EXPECT_EQ(readAll(dst, 1000, d.totalLen()),
+              readAll(src, 40, d.totalLen()));
+}
+
+TEST(Overlay, CopyFromRebasesSubWindowsAndRawStretches)
+{
+    OverlayMem src(4096), dst(4096);
+    FrameDesc d{6, 1, 0, 100};
+    std::uint8_t raw[20];
+    for (unsigned i = 0; i < 20; ++i)
+        raw[i] = static_cast<std::uint8_t>(0x80 + i);
+    src.putFrame(0, d);              // [0, 142) virtual
+    src.writeBytes(142, raw, 20);    // [142, 162) real bytes
+
+    // Copy a window that starts inside the span and ends in the raw
+    // stretch: the span part moves rebased, the raw part memcpys.
+    dst.copyFrom(src, 30, 500, 120); // src [30, 150)
+    EXPECT_EQ(src.materializations(), 0u);
+    EXPECT_EQ(dst.materializations(), 0u);
+    EXPECT_EQ(dst.spanCount(), 1u);
+
+    auto got = readAll(dst, 500, 120);
+    auto want = readAll(src, 30, 120); // materializes src now
+    EXPECT_EQ(got, want);
+}
+
+TEST(Overlay, ViewFrameMissesOnPartialCoverageOrDirtyOverlap)
+{
+    OverlayMem m(4096);
+    FrameDesc d{2, 3, 0, 128};
+    m.putFrame(0, d);
+
+    EXPECT_FALSE(m.viewFrame(0, d.totalLen() - 1)); // length mismatch
+    EXPECT_FALSE(m.viewFrame(1, d.totalLen()));     // base mismatch
+
+    // A byte write inside the frame kills the whole-frame view.
+    std::uint8_t x = 0;
+    m.writeBytes(10, &x, 1);
+    EXPECT_FALSE(m.viewFrame(0, d.totalLen()));
+}
+
+TEST(Overlay, MaterializationCountsSpansNotBytes)
+{
+    OverlayMem m(8192);
+    FrameDesc a{1, 0, 0, 64};
+    FrameDesc b{1, 1, 0, 64};
+    m.putFrame(0, a);
+    m.putFrame(2000, b);
+
+    // One read overlapping only the first span expands only it.
+    std::uint8_t tmp[4];
+    m.readBytes(50, tmp, 4);
+    EXPECT_EQ(m.materializations(), 1u);
+    EXPECT_EQ(m.spanCount(), 1u);
+
+    m.readBytes(2000, tmp, 4);
+    EXPECT_EQ(m.materializations(), 2u);
+    EXPECT_EQ(m.spanCount(), 0u);
+}
+
+TEST(Overlay, BoundsChecksRejectOverflowingRanges)
+{
+    OverlayMem m(1024);
+    std::uint8_t tmp[16] = {};
+
+    EXPECT_THROW(m.readBytes(1024, tmp, 1), PanicError);
+    EXPECT_THROW(m.writeBytes(1020, tmp, 8), PanicError);
+    // Overflow-safe: addr + len wrapping must not pass the check.
+    EXPECT_THROW(m.readBytes(~static_cast<Addr>(0), tmp, 2), PanicError);
+    EXPECT_THROW(
+        m.putFrame(1000, FrameDesc{0, 0, 0, 64}), PanicError);
+    OverlayMem big(4096);
+    EXPECT_THROW(big.copyFrom(m, 0, 4090, 100), PanicError);
+
+    // In-range operations at the exact edge still work.
+    m.writeBytes(1016, tmp, 8);
+    m.readBytes(1016, tmp, 8);
+}
+
+TEST(Overlay, SpanWindowsMustStayInsideTheirFrame)
+{
+    OverlayMem m(1024);
+    FrameDesc d{0, 0, 0, 64};
+    EXPECT_THROW(m.putSpan(0, {d, 0, 0}), PanicError); // empty
+    EXPECT_THROW(m.putSpan(0, {d, 100, 20}), PanicError); // off+len > frame
+}
+
+TEST(Overlay, NodeRecyclingSurvivesHeavyChurn)
+{
+    // Steady-state shape: the same ring addresses are re-posted with
+    // fresh descriptors over and over.  Exercises the map-node cache.
+    OverlayMem m(16 * 1024);
+    for (std::uint32_t lap = 0; lap < 50; ++lap) {
+        for (Addr slot = 0; slot < 8; ++slot) {
+            FrameDesc d{lap, lap * 8 + static_cast<std::uint32_t>(slot),
+                        0, 256};
+            Addr base = slot * 2048;
+            m.putSpan(base, {d, 0, txHeaderBytes});
+            m.putSpan(base + txHeaderBytes, {d, txHeaderBytes, 256});
+            auto v = m.viewFrame(base, d.totalLen());
+            ASSERT_TRUE(v.has_value());
+            ASSERT_EQ(*v, d);
+        }
+    }
+    EXPECT_EQ(m.spanCount(), 8u);
+    EXPECT_EQ(m.materializations(), 0u);
+
+    // Final lap's contents are exact.
+    FrameDesc last{49, 49 * 8 + 7, 0, 256};
+    auto bytes = readAll(m, 7 * 2048, last.totalLen());
+    for (Addr a = 0; a < last.totalLen(); ++a)
+        ASSERT_EQ(bytes[a], expectedByte(last, 0, a));
+}

@@ -78,7 +78,7 @@ deliverFrame(FlowSink &sink, std::uint32_t flow, std::uint32_t seq,
              unsigned payload_bytes = 256)
 {
     FrameData fd = makeFlowFrame(flow, seq, payload_bytes);
-    sink.deliver(fd.bytes.data(), static_cast<unsigned>(fd.bytes.size()));
+    sink.deliver(fd.view());
 }
 
 } // namespace
@@ -86,6 +86,7 @@ deliverFrame(FlowSink &sink, std::uint32_t flow, std::uint32_t seq,
 TEST(FlowFrame, RoundTripsFlowAndSequence)
 {
     FrameData fd = makeFlowFrame(1234, 567, 300);
+    fd.materialize(); // expand the descriptor to exercise the byte path
     std::uint32_t seq = 0, flow = 0;
     ASSERT_TRUE(checkPayload(fd.bytes.data() + txHeaderBytes,
                              static_cast<unsigned>(fd.bytes.size()) -
@@ -219,10 +220,7 @@ TEST(TrafficEngine, FrameLimitAdmitsInArrivalOrderAcrossDeferral)
     std::vector<std::pair<Tick, std::uint32_t>> emits;
     TrafficEngine eng(eq, p, [&](FrameData &&fd) {
         std::uint32_t seq = 0, flow = 0;
-        unsigned len =
-            static_cast<unsigned>(fd.bytes.size()) - txHeaderBytes;
-        EXPECT_TRUE(peekPayload(fd.bytes.data() + txHeaderBytes, len,
-                                seq, flow));
+        EXPECT_TRUE(peekFrameView(fd.view(), seq, flow));
         emits.emplace_back(eq.curTick(), flow);
         return true;
     });
@@ -334,8 +332,12 @@ TEST(FlowSinkTest, CatchesCorruptPayload)
 {
     FlowSink sink(/*lossless=*/true);
     FrameData fd = makeFlowFrame(3, 0, 256);
+    // Byte-level corruption forces materialization: the corrupt frame
+    // must travel (and fail validation) as bytes, never as a
+    // descriptor.
+    fd.materialize();
     fd.bytes[txHeaderBytes + 60] ^= 0x10;
-    sink.deliver(fd.bytes.data(), static_cast<unsigned>(fd.bytes.size()));
+    sink.deliver(fd.view());
     EXPECT_EQ(sink.integrityErrors(), 1u);
     EXPECT_EQ(sink.errors(), 1u);
 }
@@ -352,8 +354,7 @@ TEST(Trace, RecordReplayRoundTripIsBitIdentical)
     TraceRecorder rerec(out);
     FlowSink sink(/*lossless=*/true);
     TraceReplayer rep(eq, in, [&](FrameData &&fd) {
-        sink.deliver(fd.bytes.data(),
-                     static_cast<unsigned>(fd.bytes.size()));
+        sink.deliver(fd.view());
         return true;
     });
     rep.record(&rerec);

@@ -28,21 +28,35 @@ if [ "${1:-}" = "--bench" ]; then
     # host events/sec per row against the committed baseline report.
     cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize"
     cmake --build "$build" -j"$(nproc)" --target sim_speed
+    # Wall-clock benches are noisy: take each row's best of three runs
+    # before comparing, mirroring how the committed baseline is made.
     fresh="$build/BENCH_sim_speed.fresh.json"
     "$build/bench/sim_speed" "--json=$fresh"
+    "$build/bench/sim_speed" "--json=$fresh.2"
+    "$build/bench/sim_speed" "--json=$fresh.3"
     baseline="$repo/BENCH_sim_speed.json"
     if [ ! -f "$baseline" ]; then
         echo "no committed BENCH_sim_speed.json baseline; wrote $fresh"
         exit 0
     fi
-    python3 - "$baseline" "$fresh" <<'EOF'
+    # Fail if any row regresses by more than 10% in host events/sec.
+    python3 - "$baseline" "$fresh" "$fresh.2" "$fresh.3" <<'EOF'
 import json, sys
 base = json.load(open(sys.argv[1]))
 fresh = json.load(open(sys.argv[2]))
+best = {}
+for path in sys.argv[2:]:
+    for r in json.load(open(path))["rows"]:
+        m = best.setdefault(r["name"], r["metrics"])
+        if r["metrics"]["hostEventsPerSec"] > m["hostEventsPerSec"]:
+            best[r["name"]] = r["metrics"]
+for r in fresh["rows"]:
+    r["metrics"] = best[r["name"]]
 base_rows = {r["name"]: r["metrics"] for r in base["rows"]}
 print()
 print("sim_speed vs committed baseline (host events/sec):")
 print("%-30s %12s %12s %8s" % ("config", "baseline", "now", "ratio"))
+regressed = []
 for row in fresh["rows"]:
     name, m = row["name"], row["metrics"]
     b = base_rows.get(name)
@@ -51,10 +65,19 @@ for row in fresh["rows"]:
               (name, "-", m["hostEventsPerSec"], "new"))
         continue
     ratio = m["hostEventsPerSec"] / b["hostEventsPerSec"]
-    print("%-30s %12.0f %12.0f %7.2fx" %
-          (name, b["hostEventsPerSec"], m["hostEventsPerSec"], ratio))
+    flag = " REGRESSED" if ratio < 0.90 else ""
+    print("%-30s %12.0f %12.0f %7.2fx%s" %
+          (name, b["hostEventsPerSec"], m["hostEventsPerSec"], ratio,
+           flag))
+    if ratio < 0.90:
+        regressed.append(name)
+if regressed:
+    print()
+    print("FAIL: >10%% host-throughput regression on: %s"
+          % ", ".join(regressed))
+    sys.exit(1)
 EOF
-    exit 0
+    exit $?
 fi
 
 ctest_args="--output-on-failure -j$(nproc)"
