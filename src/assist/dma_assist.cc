@@ -1,5 +1,6 @@
 #include "dma_assist.hh"
 
+#include "fault/fault.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace_log.hh"
 
@@ -33,8 +34,10 @@ DmaAssist::DmaAssist(EventQueue &eq, const ClockDomain &cpu_domain,
 bool
 DmaAssist::push(DmaCommand cmd)
 {
-    if (full())
+    if (full()) {
+        ++fullRejects;
         return false;
+    }
     queue.push_back(std::move(cmd));
     if (!busy)
         startNext();
@@ -44,8 +47,10 @@ DmaAssist::push(DmaCommand cmd)
 bool
 DmaAssist::pushPair(DmaCommand a, DmaCommand b)
 {
-    if (queue.size() + 2 > fifoDepth)
+    if (queue.size() + 2 > fifoDepth) {
+        ++fullRejects;
         return false;
+    }
     queue.push_back(std::move(a));
     queue.push_back(std::move(b));
     if (!busy)
@@ -77,6 +82,14 @@ DmaAssist::startNext()
 
     switch (cmd.kind) {
       case DmaCommand::Kind::HostToSdram: {
+        if (faults) {
+            // Fault-enabled runs issue every frame burst through the
+            // retry-aware path, one burst at a time (no pair-fusing:
+            // a retry must be an independent, re-issuable burst).
+            curRetried = false;
+            issueFrameBurst();
+            return;
+        }
         // Functional copy at completion keeps SDRAM contents exact;
         // the overlay copy moves pattern spans without expanding them.
         auto copy_done = [this] {
@@ -104,6 +117,11 @@ DmaAssist::startNext()
       }
 
       case DmaCommand::Kind::SdramToHost:
+        if (faults) {
+            curRetried = false;
+            issueFrameBurst();
+            return;
+        }
         sdram.request(sdramRequester, cmd.localAddr, cmd.len, false,
                       [this] {
                           DmaCommand &c = queue.front();
@@ -120,7 +138,45 @@ DmaAssist::startNext()
                      cmd.kind == DmaCommand::Kind::HostToSpad);
         return;
     }
-    panic("unreachable dma command kind");
+    panic("[dma assist] unreachable command kind @tick ", curTick());
+}
+
+void
+DmaAssist::issueFrameBurst()
+{
+    DmaCommand &cmd = queue.front();
+    bool is_write = cmd.kind == DmaCommand::Kind::HostToSdram;
+    sdram.request(sdramRequester, cmd.localAddr, cmd.len, is_write,
+                  [this] { frameBurstDone(); });
+}
+
+void
+DmaAssist::frameBurstDone()
+{
+    DmaCommand &c = queue.front();
+    if (faults->rollMemFault()) {
+        if (!curRetried) {
+            // Transient error: pay for one full re-issued burst.
+            curRetried = true;
+            faults->noteMemRetry();
+            issueFrameBurst();
+            return;
+        }
+        // Retry also failed: abandon the transfer.  The destination
+        // is left unwritten; onFault lets the owner degrade the frame
+        // (poison / zero-length completion) instead of shipping the
+        // stale bytes.
+        faults->noteMemDrop();
+        finishCurrent(/*faulted=*/true);
+        return;
+    }
+    if (c.kind == DmaCommand::Kind::HostToSdram)
+        sdram.store().copyFrom(host.store(), c.hostAddr, c.localAddr,
+                               c.len);
+    else
+        host.store().copyFrom(sdram.store(), c.localAddr, c.hostAddr,
+                              c.len);
+    finishCurrent();
 }
 
 void
@@ -138,6 +194,17 @@ void
 DmaAssist::spadWordStep()
 {
     if (curRemaining == 0) {
+        if (faults && faults->rollMemFault()) {
+            // Control metadata (descriptors, completions) must never
+            // be dropped -- stale control state is corruption, not
+            // degradation -- so scratchpad transfers retry until
+            // clean.  Replaying the word loop is idempotent.
+            faults->noteMemRetry();
+            DmaCommand &c = queue.front();
+            spadWordLoop(c.hostAddr, c.localAddr, c.len,
+                         c.kind == DmaCommand::Kind::HostToSpad);
+            return;
+        }
         finishCurrent();
         return;
     }
@@ -169,18 +236,22 @@ DmaAssist::spadWordStep()
 }
 
 void
-DmaAssist::finishCurrent()
+DmaAssist::finishCurrent(bool faulted)
 {
     DmaCommand cmd = std::move(queue.front());
     queue.pop_front();
+    curRetried = false;
     ++completed;
     if (obs::TraceLog *t = traceLog();
         t && t->enabled() && traceLane != obs::noTraceLane) {
         t->complete(traceLane,
-                    std::string(kindName(cmd.kind)) + " " +
+                    std::string(kindName(cmd.kind)) +
+                        (faulted ? " FAULT " : " ") +
                         std::to_string(cmd.len) + "B",
                     cmdStart, curTick() - cmdStart, "dma");
     }
+    if (faulted && cmd.onFault)
+        cmd.onFault();
     if (cmd.done)
         cmd.done();
     startNext();
@@ -198,6 +269,8 @@ DmaAssist::registerStats(obs::StatGroup &g) const
     g.derived("depth",
               [this] { return static_cast<double>(queue.size()); },
               "commands currently queued");
+    g.add("fifo_full_rejects", fullRejects,
+          "pushes rejected on a full FIFO (caller must retry)");
 }
 
 } // namespace tengig

@@ -30,6 +30,8 @@
 
 namespace tengig {
 
+class FaultInjector;
+
 namespace obs { class StatGroup; }
 
 /** One DMA command. */
@@ -51,7 +53,12 @@ struct DmaCommand
      *  traffic); splits the assist's byte counters so the zero-copy
      *  accounting reconciles. */
     std::size_t payloadLen = 0;
-    std::function<void()> done; //!< fires when the transfer completes
+    std::function<void()> done = {}; //!< fires when the transfer completes
+    /** Fires (before done) when the transfer was abandoned after a
+     *  failed retry under fault injection: the destination was NOT
+     *  written and the owner must take its degradation action
+     *  (poison the tx frame / zero the rx completion length). */
+    std::function<void()> onFault = {};
 };
 
 /**
@@ -98,6 +105,24 @@ class DmaAssist : public Clocked
         return payloadBytes.value();
     }
 
+    /** Pushes rejected because the FIFO was full (the caller must
+     *  retry, per push()'s contract -- counted so silent livelock on
+     *  a never-retried reject is visible in the stat tree). */
+    std::uint64_t fifoFullRejects() const { return fullRejects.value(); }
+
+    /**
+     * Wire up fault injection (NicController, fault-enabled runs
+     * only).  Frame transfers (host<->SDRAM) adopt a retry-once-then-
+     * drop policy: a transient fault re-issues the burst once, a
+     * second fault abandons the transfer and fires the command's
+     * onFault hook.  Control-metadata transfers (host<->scratchpad)
+     * retry until clean instead -- dropping a descriptor would leave
+     * stale control state, which is corruption, not degradation.
+     * Attaching also disables SDRAM pair-fusing so each retry is an
+     * independent burst.
+     */
+    void attachFaults(FaultInjector *f) { faults = f; }
+
     /** Register counters into the owner's stat tree (src/obs). */
     void registerStats(obs::StatGroup &g) const;
 
@@ -106,7 +131,9 @@ class DmaAssist : public Clocked
 
   private:
     void startNext();
-    void finishCurrent();
+    void finishCurrent(bool faulted = false);
+    void issueFrameBurst();
+    void frameBurstDone();
     void spadWordLoop(Addr host, Addr local, std::size_t remaining,
                       bool to_spad);
     void spadWordStep();
@@ -135,10 +162,14 @@ class DmaAssist : public Clocked
     unsigned traceLane = 0xffffffffu; //!< obs::noTraceLane
     Tick cmdStart = 0;                //!< start tick of the active command
 
+    FaultInjector *faults = nullptr;  //!< null on fault-free runs
+    bool curRetried = false; //!< active frame transfer already retried
+
     stats::Counter completed;
     stats::Counter bytes;
     stats::Counter headerBytes;
     stats::Counter payloadBytes;
+    stats::Counter fullRejects;
 };
 
 } // namespace tengig

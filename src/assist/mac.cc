@@ -41,7 +41,11 @@ MacTx::tryFetch()
     queue.pop_front();
     ++fetching;
     Addr addr = cmd.sdramAddr;
-    unsigned len = cmd.lenBytes;
+    // A skipped (poisoned) frame still flows through the fetch stage
+    // as a zero-length burst: it moves no data, but the bus queue is
+    // per-requester FIFO, so completion order against every real
+    // frame ahead of and behind it is preserved.
+    unsigned len = cmd.skip ? 0 : cmd.lenBytes;
     fetchInFlight.push_back(std::move(cmd));
     sdram.request(sdramRequester, addr, len, false,
                   [this] { fetchDone(); });
@@ -58,6 +62,16 @@ MacTx::fetchDone()
 void
 MacTx::enqueueWire(Command cmd)
 {
+    if (cmd.skip) {
+        // Zero-duration wire slot at the current wire frontier: fires
+        // after every earlier frame's wireDone (same-tick events pop
+        // in insertion order) and leaves wireBusyUntil untouched.
+        Tick at = std::max(curTick(), wireBusyUntil);
+        onWire.push_back(WireEntry{std::move(cmd), 0});
+        eventQueue().schedule(at, [this] { wireDone(); },
+                              EventPriority::HardwareProgress);
+        return;
+    }
     // Serialize onto the wire with Ethernet pacing; compute CRC-
     // inclusive on-wire length.
     unsigned frame = cmd.lenBytes + ethCrcBytes;
@@ -83,6 +97,16 @@ MacTx::wireDone()
 {
     WireEntry e = std::move(onWire.front());
     onWire.pop_front();
+    if (e.cmd.skip) {
+        // Poisoned frame: retire the command without delivering
+        // anything or counting a transmission.
+        ++skipped;
+        --fetching;
+        if (e.cmd.done)
+            e.cmd.done();
+        tryFetch();
+        return;
+    }
     if (auto desc = sdram.viewFrame(e.cmd.sdramAddr, e.cmd.lenBytes)) {
         // Steady state: the slot holds one whole-frame pattern span;
         // hand the descriptor straight to the sink.
@@ -120,11 +144,31 @@ MacRx::MacRx(EventQueue &eq, const ClockDomain &domain, GddrSdram &sdram_,
 bool
 MacRx::frameArrived(FrameData &&fd)
 {
+    // Length + (modeled) CRC validation runs before any buffering: a
+    // damaged frame is rejected at the MAC and never reaches firmware
+    // or the host, whatever the buffer state.  Healthy traffic never
+    // trips these, so the checks are timing-invisible by construction.
+    unsigned len = fd.size();
+    if (len < ethMinFrameBytes - ethCrcBytes) {
+        ++runts;
+        return false;
+    }
+    if (len > ethMaxFrameBytes - ethCrcBytes) {
+        ++oversizes;
+        return false;
+    }
+    if (fd.wireFault == WireFault::Crc) {
+        ++crcErrors;
+        return false;
+    }
+    if (fd.wireFault == WireFault::Truncated) {
+        ++truncated;
+        return false;
+    }
     if (storing >= maxBuffered) {
         ++drops;
         return false;
     }
-    unsigned len = fd.size();
     std::optional<Addr> slot = allocSlot(len);
     if (!slot) {
         ++drops;
@@ -178,10 +222,25 @@ MacTx::registerStats(obs::StatGroup &g) const
 }
 
 void
+MacTx::registerFaultStats(obs::StatGroup &g) const
+{
+    g.add("skipped", skipped, "poisoned frames retired untransmitted");
+}
+
+void
 MacRx::registerStats(obs::StatGroup &g) const
 {
     g.add("frames", frames, "frames fully stored to SDRAM");
     g.add("drops", drops, "arrivals shed at the MAC (buffer/ring full)");
+}
+
+void
+MacRx::registerFaultStats(obs::StatGroup &g) const
+{
+    g.add("runt_drops", runts, "frames below the 60 B minimum");
+    g.add("oversize_drops", oversizes, "frames above the 1514 B maximum");
+    g.add("crc_drops", crcErrors, "frames failing the CRC check");
+    g.add("trunc_drops", truncated, "frames cut short mid-reception");
 }
 
 } // namespace tengig

@@ -43,6 +43,10 @@ class MacTx : public Clocked
         Addr sdramAddr;
         unsigned lenBytes;           //!< header+payload bytes (no CRC)
         std::function<void()> done;  //!< fires when the frame has left
+        /** Poisoned frame: flow through both MAC stages (preserving
+         *  completion order for every other frame) but touch neither
+         *  the SDRAM bus nor the wire, and deliver nothing. */
+        bool skip = false;
     };
 
     /** Wire-side consumer of transmitted frames (header+payload).
@@ -68,6 +72,9 @@ class MacTx : public Clocked
     std::uint64_t framesSent() const { return frames.value(); }
     std::uint64_t wireBytesSent() const { return wireBytes.value(); }
 
+    /** Poisoned commands retired without transmitting. */
+    std::uint64_t framesSkipped() const { return skipped.value(); }
+
     /** Achieved transmit throughput (payload+headers, no overhead). */
     double
     frameBandwidthGbps(Tick now) const
@@ -80,6 +87,9 @@ class MacTx : public Clocked
 
     /** Register counters into the owner's stat tree (src/obs). */
     void registerStats(obs::StatGroup &g) const;
+
+    /** Fault-path counters (registered only on fault-enabled runs). */
+    void registerFaultStats(obs::StatGroup &g) const;
 
     /** Timeline row for wire-occupancy spans (src/obs recorder). */
     void setTraceLane(unsigned lane) { traceLane = lane; }
@@ -118,6 +128,7 @@ class MacTx : public Clocked
     stats::Counter frames;
     stats::Counter frameBytes;
     stats::Counter wireBytes;
+    stats::Counter skipped;
 };
 
 /**
@@ -153,11 +164,30 @@ class MacRx : public Clocked
     std::uint64_t framesStored() const { return frames.value(); }
     std::uint64_t framesDropped() const { return drops.value(); }
 
+    /// @name Malformed-frame drops (length / CRC checks)
+    /// Counted separately from the overload `drops` above so each
+    /// injected wire-fault class is accounted for exactly once.
+    /// @{
+    std::uint64_t runtDrops() const { return runts.value(); }
+    std::uint64_t oversizeDrops() const { return oversizes.value(); }
+    std::uint64_t crcDrops() const { return crcErrors.value(); }
+    std::uint64_t truncatedDrops() const { return truncated.value(); }
+    std::uint64_t
+    malformedDrops() const
+    {
+        return runts.value() + oversizes.value() + crcErrors.value() +
+               truncated.value();
+    }
+    /// @}
+
     /** Frames currently being written to SDRAM (idle-sleep park gate). */
     unsigned storingCount() const { return storing; }
 
     /** Register counters into the owner's stat tree (src/obs). */
     void registerStats(obs::StatGroup &g) const;
+
+    /** Fault-path counters (registered only on fault-enabled runs). */
+    void registerFaultStats(obs::StatGroup &g) const;
 
     /** Timeline row for SDRAM store spans (src/obs recorder). */
     void setTraceLane(unsigned lane) { traceLane = lane; }
@@ -176,6 +206,10 @@ class MacRx : public Clocked
 
     stats::Counter frames;
     stats::Counter drops;
+    stats::Counter runts;
+    stats::Counter oversizes;
+    stats::Counter crcErrors;
+    stats::Counter truncated;
 };
 
 } // namespace tengig

@@ -110,7 +110,8 @@ CoherentCacheSystem::access(unsigned c, Addr addr, bool write)
                 break;
               }
               case LineState::Invalid:
-                panic("invalid line counted as hit");
+                panic("[coherence] invalid line counted as hit: cache ",
+                      c, " addr ", addr, " tag ", tag);
             }
         }
         return;

@@ -1,0 +1,121 @@
+#include "fault/fault.hh"
+
+#include "obs/stat_registry.hh"
+
+namespace tengig {
+
+FaultInjector::FaultInjector(const FaultPlan &plan, EventQueue &eq_)
+    : _plan(plan), eq(eq_),
+      wireClock(plan.seed, 1), memClock(plan.seed, 2),
+      doorbellClock(plan.seed, 3), poisonClock(plan.seed, 4)
+{}
+
+bool
+FaultInjector::applyWireFault(FrameData &fd)
+{
+    if (!stormActive())
+        return false;
+
+    // At most one fault class per frame, rolled in a fixed order so
+    // per-class injected counts match the downstream drop counters
+    // one for one.
+    if (wireClock.roll(_plan.wireCrcRate)) {
+        fd.materialize();
+        if (!fd.bytes.empty()) {
+            std::size_t idx = wireClock.raw().below(fd.bytes.size());
+            fd.bytes[idx] ^=
+                static_cast<std::uint8_t>(1u << wireClock.raw().below(8));
+        }
+        fd.wireFault = WireFault::Crc;
+        ++wireCrc;
+        return true;
+    }
+    if (fd.size() > ethMinFrameBytes - ethCrcBytes &&
+        wireClock.roll(_plan.wireTruncateRate)) {
+        // Cut the frame short but keep it >= the minimum legal length:
+        // only the (modeled) CRC check can tell, not the length check.
+        std::size_t lo = ethMinFrameBytes - ethCrcBytes;
+        std::size_t new_len = wireClock.raw().range(lo, fd.size() - 1);
+        fd.materialize();
+        fd.bytes.resize(new_len);
+        fd.wireFault = WireFault::Truncated;
+        ++wireTrunc;
+        return true;
+    }
+    if (wireClock.roll(_plan.wireRuntRate)) {
+        // Collision fragment: below the minimum legal frame length.
+        std::size_t new_len = wireClock.raw().range(
+            ethHeaderBytes, ethMinFrameBytes - ethCrcBytes - 1);
+        fd.materialize();
+        fd.bytes.resize(new_len);
+        ++wireRunt;
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::rollMemFault()
+{
+    if (!stormActive() || !memClock.roll(_plan.memFaultRate))
+        return false;
+    ++memFaults;
+    return true;
+}
+
+bool
+FaultInjector::rollDoorbellDrop()
+{
+    if (!stormActive() || !doorbellClock.roll(_plan.doorbellDropRate))
+        return false;
+    ++doorbellLost;
+    return true;
+}
+
+bool
+FaultInjector::rollTxPoison()
+{
+    if (!stormActive() || !poisonClock.roll(_plan.txPoisonRate))
+        return false;
+    ++txPoisoned;
+    return true;
+}
+
+void
+FaultInjector::registerStats(obs::StatGroup &g) const
+{
+    obs::StatGroup &w = g.group("wire");
+    w.add("crc_injected", wireCrc, "frames corrupted (CRC-detectable)");
+    w.add("trunc_injected", wireTrunc, "frames truncated on the wire");
+    w.add("runt_injected", wireRunt, "frames shrunk below 60 B");
+
+    obs::StatGroup &m = g.group("mem");
+    m.add("faults_injected", memFaults, "transient DMA transfer errors");
+    m.add("retries", memRetries, "transfers re-issued after a fault");
+    m.add("drops", memDrops, "transfers abandoned after a failed retry");
+
+    obs::StatGroup &d = g.group("doorbell");
+    d.add("lost", doorbellLost, "doorbell notifications dropped");
+    d.add("retries", doorbellRetries, "host timeout-driven re-rings");
+
+    obs::StatGroup &p = g.group("poison");
+    p.add("injected", txPoisoned, "tx frames marked poisoned");
+    p.add("skips", poisonSkips, "poisoned frames skipped at commit");
+}
+
+void
+FaultInjector::resetStats()
+{
+    wireCrc.reset();
+    wireTrunc.reset();
+    wireRunt.reset();
+    memFaults.reset();
+    memRetries.reset();
+    memDrops.reset();
+    doorbellLost.reset();
+    doorbellRetries.reset();
+    txPoisoned.reset();
+    poisonSkips.reset();
+}
+
+} // namespace tengig

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the NIC datapath.
+ *
+ * A FaultPlan describes *what* can go wrong (per-class rates) and
+ * *when* (an optional storm window in absolute ticks).  A FaultClock
+ * is an independent deterministic random stream for one injection
+ * site, derived from the plan seed and a site id, so adding or
+ * removing one site never perturbs the fault sequence seen by
+ * another.  The FaultInjector owns the per-site clocks plus a counter
+ * for every fault injected and every recovery action taken; the
+ * accounting invariant is that each injected fault class is matched
+ * exactly by its detection/recovery counter downstream (see
+ * DESIGN.md §12).
+ *
+ * With a default (all-zero) plan, nothing in the datapath consults
+ * the injector: timing, stat trees and bench JSON stay bit-identical
+ * to a build without the subsystem, which the determinism guard in
+ * tests/test_sim_speed.cc verifies.
+ */
+
+#ifndef TENGIG_FAULT_FAULT_HH
+#define TENGIG_FAULT_FAULT_HH
+
+#include <cstdint>
+
+#include "net/frame.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tengig {
+
+namespace obs { class StatGroup; }
+
+/**
+ * Everything that can go wrong, and how often.  Rates are per-event
+ * Bernoulli probabilities (per frame, per DMA completion, per
+ * doorbell ring).  All-zero rates (the default) disable the
+ * subsystem entirely.
+ */
+struct FaultPlan
+{
+    /** Seed for all per-site fault streams. */
+    std::uint64_t seed = 0x1005e7a91ULL;
+
+    /// @name Storm window (absolute simulation ticks)
+    /// @{
+    Tick stormStart = 0;  //!< first tick faults may fire
+    Tick stormEnd = 0;    //!< 0 = no end; else faults stop here
+    /// @}
+
+    /// @name Per-class injection rates
+    /// @{
+    double wireCrcRate = 0.0;      //!< bit-flip (CRC-detectable) per rx frame
+    double wireTruncateRate = 0.0; //!< cut frame short (>= 60 B) per rx frame
+    double wireRuntRate = 0.0;     //!< shrink below 60 B per rx frame
+    double memFaultRate = 0.0;     //!< transient error per DMA transfer
+    double doorbellDropRate = 0.0; //!< lost notification per doorbell ring
+    double txPoisonRate = 0.0;     //!< firmware-visible poison per tx frame
+    /// @}
+
+    /// @name Watchdog / recovery knobs
+    /// @{
+    Cycles watchdogCycles = 0;             //!< fw watchdog period; 0 = off
+    Tick doorbellRetryTimeout = 20 * tickPerUs; //!< base host retry timeout
+    unsigned doorbellBackoffMax = 6;       //!< cap on timeout doublings
+    /// @}
+
+    /** True when any part of the subsystem must be wired up. */
+    bool
+    enabled() const
+    {
+        return wireCrcRate > 0.0 || wireTruncateRate > 0.0 ||
+               wireRuntRate > 0.0 || memFaultRate > 0.0 ||
+               doorbellDropRate > 0.0 || txPoisonRate > 0.0 ||
+               watchdogCycles != 0;
+    }
+};
+
+/**
+ * One injection site's private deterministic random stream.  Streams
+ * are decorrelated by mixing the site id into the plan seed through
+ * SplitMix64 before seeding xoshiro.
+ */
+class FaultClock
+{
+  public:
+    FaultClock(std::uint64_t plan_seed, std::uint64_t site_id)
+        : rng(deriveSeed(plan_seed, site_id))
+    {}
+
+    /** Bernoulli roll; rate <= 0 never consumes randomness. */
+    bool
+    roll(double rate)
+    {
+        return rate > 0.0 && rng.chance(rate);
+    }
+
+    /** Raw stream for picking corruption offsets/lengths. */
+    Rng &raw() { return rng; }
+
+  private:
+    static std::uint64_t
+    deriveSeed(std::uint64_t plan_seed, std::uint64_t site_id)
+    {
+        std::uint64_t s = plan_seed ^ (site_id * 0x9e3779b97f4a7c15ULL);
+        return splitmix64(s);
+    }
+
+    Rng rng;
+};
+
+/**
+ * The per-run fault source: rolls faults at each wired site and keeps
+ * the injected/recovered accounting.  One instance per NicController
+ * run; every datapath hook holds a pointer that is null when the plan
+ * is disabled.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan &plan, EventQueue &eq);
+
+    const FaultPlan &plan() const { return _plan; }
+
+    /** True while inside the storm window. */
+    bool
+    stormActive() const
+    {
+        Tick now = eq.curTick();
+        return now >= _plan.stormStart &&
+               (_plan.stormEnd == 0 || now < _plan.stormEnd);
+    }
+
+    /// @name Wire faults (before MAC RX)
+    /// @{
+    /**
+     * Possibly corrupt one arriving frame in place.  At most one
+     * fault class applies per frame (rolled in fixed order: CRC,
+     * truncation, runt).  @return true when the frame was corrupted.
+     */
+    bool applyWireFault(FrameData &fd);
+
+    std::uint64_t wireCrcInjected() const { return wireCrc.value(); }
+    std::uint64_t wireTruncInjected() const { return wireTrunc.value(); }
+    std::uint64_t wireRuntInjected() const { return wireRunt.value(); }
+    /// @}
+
+    /// @name Transient memory faults (DmaAssist)
+    /// @{
+    /** Roll a transient error for one completed DMA transfer. */
+    bool rollMemFault();
+    void noteMemRetry() { ++memRetries; }
+    void noteMemDrop() { ++memDrops; }
+
+    std::uint64_t memFaultsInjected() const { return memFaults.value(); }
+    std::uint64_t memRetriesTaken() const { return memRetries.value(); }
+    std::uint64_t memDropsTaken() const { return memDrops.value(); }
+    /// @}
+
+    /// @name Lost doorbells (host driver -> firmware mailbox)
+    /// @{
+    /** Roll a lost notification for one doorbell ring. */
+    bool rollDoorbellDrop();
+    void noteDoorbellRetry() { ++doorbellRetries; }
+
+    std::uint64_t doorbellsLost() const { return doorbellLost.value(); }
+    std::uint64_t doorbellRetriesTaken() const
+    {
+        return doorbellRetries.value();
+    }
+    /// @}
+
+    /// @name Firmware-visible per-frame poison (tx commit skip)
+    /// @{
+    /** Roll poison for one claimed transmit frame. */
+    bool rollTxPoison();
+    void notePoisonSkip() { ++poisonSkips; }
+
+    std::uint64_t txFramesPoisoned() const { return txPoisoned.value(); }
+    std::uint64_t poisonSkipsTaken() const { return poisonSkips.value(); }
+    /// @}
+
+    /** All injected faults, summed (for "storm really happened"). */
+    std::uint64_t
+    totalInjected() const
+    {
+        return wireCrc.value() + wireTrunc.value() + wireRunt.value() +
+               memFaults.value() + doorbellLost.value() +
+               txPoisoned.value();
+    }
+
+    /** Register injected/recovered counters into the stat tree. */
+    void registerStats(obs::StatGroup &g) const;
+    void resetStats();
+
+  private:
+    FaultPlan _plan;
+    EventQueue &eq;
+
+    /// @name Per-site streams (ids are stable; never renumber)
+    /// @{
+    FaultClock wireClock;      //!< site 1
+    FaultClock memClock;       //!< site 2
+    FaultClock doorbellClock;  //!< site 3
+    FaultClock poisonClock;    //!< site 4
+    /// @}
+
+    stats::Counter wireCrc;
+    stats::Counter wireTrunc;
+    stats::Counter wireRunt;
+    stats::Counter memFaults;
+    stats::Counter memRetries;
+    stats::Counter memDrops;
+    stats::Counter doorbellLost;
+    stats::Counter doorbellRetries;
+    stats::Counter txPoisoned;
+    stats::Counter poisonSkips;
+};
+
+} // namespace tengig
+
+#endif // TENGIG_FAULT_FAULT_HH

@@ -44,6 +44,47 @@ FwState::FwState(Scratchpad &spad_, const FwConfig &cfg)
     rxCmdSeq.assign(cfg.rxSlots, 0);
     txInfo.assign(cfg.txSlots, TxFrameInfo{});
     rxInfo.assign(cfg.rxSlots, RxFrameInfo{});
+    txPoison.assign(cfg.txSlots, 0);
+}
+
+std::string
+FwState::pipelineReport() const
+{
+    auto line = [](const char *name, std::uint64_t v) {
+        return std::string("  ") + name + " = " + std::to_string(v) +
+               "\n";
+    };
+    std::string r = "firmware pipeline state:\n";
+    r += line("hostPostedBds", hostPostedBds);
+    r += line("txBdFetchIssuedBds", txBdFetchIssuedBds);
+    r += line("txBdArrivedBds", txBdArrivedBds);
+    r += line("txClaimedFrames", txClaimedFrames);
+    r += line("txCmdsPushed", txCmdsPushed);
+    r += line("txCmdsCompleted", txCmdsCompleted);
+    r += line("txDmaProcessed", txDmaProcessed);
+    r += line("txOrderedReady", txOrderedReady);
+    r += line("txMacEnqueued", txMacEnqueued);
+    r += line("macTxDone", macTxDone);
+    r += line("txComplProcessed", txComplProcessed);
+    r += line("txFreedFrames", txFreedFrames);
+    r += line("txConsumedReported", txConsumedReported);
+    r += line("hostRecvBdsPosted", hostRecvBdsPosted);
+    r += line("rxBdFetchIssuedBds", rxBdFetchIssuedBds);
+    r += line("rxBdArrivedBds", rxBdArrivedBds);
+    r += line("rxBdConsumedBds", rxBdConsumedBds);
+    r += line("macRxAllocated", macRxAllocated);
+    r += line("macRxStored", macRxStored);
+    r += line("rxClaimedFrames", rxClaimedFrames);
+    r += line("rxCmdsPushed", rxCmdsPushed);
+    r += line("rxCmdsCompleted", rxCmdsCompleted);
+    r += line("rxDmaProcessed", rxDmaProcessed);
+    r += line("rxOrderedReady", rxOrderedReady);
+    r += line("rxCommitted", rxCommitted);
+    r += line("rxSlotsFreed", rxSlotsFreed);
+    r += line("dmaReadReserved", dmaReadReserved);
+    r += line("dmaWriteReserved", dmaWriteReserved);
+    r += line("macTxReserved", macTxReserved);
+    return r;
 }
 
 } // namespace tengig

@@ -13,6 +13,7 @@
 #define TENGIG_FIRMWARE_FW_STATE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mem/scratchpad.hh"
@@ -214,6 +215,17 @@ class FwState
     };
     std::vector<TxFrameInfo> txInfo;
     std::vector<RxFrameInfo> rxInfo;
+
+    /** Per-slot poison marks (ring by seq % txSlots): set when fault
+     *  injection poisoned the frame or its payload DMA was abandoned;
+     *  the commit step retires such frames without transmitting.
+     *  Rewritten at every slot claim, so entries never go stale.
+     *  All-zero (and never read) on fault-free runs. */
+    std::vector<std::uint8_t> txPoison;
+
+    /** One-line-per-stage pipeline snapshot for watchdog/liveness
+     *  diagnostics. */
+    std::string pipelineReport() const;
 
     /** Size of each status-flag ring in bits. */
     unsigned flagBits = 0;

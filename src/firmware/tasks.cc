@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault.hh"
+
 namespace tengig {
 
 namespace {
@@ -324,7 +326,8 @@ FwTasks::tryFetchSendBd(OpRecorder &rec)
                 hwCounterWrite(FwState::CtrTxBdArrived,
                                state.txBdArrivedBds, ids.dmaRead);
             }});
-        panic_if(!ok, "dma read FIFO overflow despite reservation");
+        panic_if(!ok, "[fw send-bd] dma read FIFO overflow despite "
+                 "reservation @tick ", dmaRead.curTick());
     });
     unlock(rec, FwLock::SendDispatch, FuncTag::SendLock);
     return true;
@@ -419,6 +422,13 @@ FwTasks::trySendFrame(OpRecorder &rec)
             aluH(rec, cal::tsoSegmentAlu);
         }
         state.txInfo[seq % state.config.txSlots] = info;
+        if (faults) {
+            // Roll per-frame poisoning at claim time; the commit step
+            // consults the mark at MAC-handoff time (a dropped payload
+            // DMA can also set it later -- see onFault below).
+            state.txPoison[seq % state.config.txSlots] =
+                faults->rollTxPoison() ? 1 : 0;
+        }
 
         // Build the frame: metadata writes, DMA programming.
         rec.tag(FuncTag::SendFrame);
@@ -439,10 +449,16 @@ FwTasks::trySendFrame(OpRecorder &rec)
             // misaligned in SDRAM, exactly the paper's inefficiency.
             // Posted atomically so even an idle engine sees the pair
             // and can fuse it into one SDRAM burst-pair request.
+            // If either transfer is abandoned under fault injection
+            // the SDRAM slot holds stale bytes; poison the frame so
+            // the commit step skips it instead of transmitting junk.
+            auto poison = [this, seq] {
+                state.txPoison[seq % state.config.txSlots] = 1;
+            };
             bool ok = dmaRead.pushPair(
                 DmaCommand{DmaCommand::Kind::HostToSdram,
                            info.hostHdrAddr, slot, info.hdrLen, 0,
-                           nullptr},
+                           nullptr, poison},
                 DmaCommand{DmaCommand::Kind::HostToSdram,
                            info.hostPayAddr, slot + info.hdrLen,
                            info.payLen, info.payLen, [this, seq] {
@@ -450,8 +466,10 @@ FwTasks::trySendFrame(OpRecorder &rec)
                                hwCounterWrite(FwState::CtrTxCmdsCompleted,
                                               state.txCmdsCompleted,
                                               ids.dmaRead);
-                           }});
-            panic_if(!ok, "dma read FIFO overflow despite reservation");
+                           },
+                           poison});
+            panic_if(!ok, "[fw send] dma read FIFO overflow despite "
+                     "reservation @tick ", dmaRead.curTick());
             state.txCmdSeq[state.txCmdsPushed % state.config.txSlots] =
                 seq;
             ++state.txCmdsPushed;
@@ -616,16 +634,29 @@ FwTasks::tryProcessTxDma(OpRecorder &rec)
             (seq % state.config.txSlots) * state.config.slotBytes;
         unsigned len = info.hdrLen + info.payLen;
         ++state.macTxReserved;
-        rec.action([this, slot, len] {
+        rec.action([this, slot, len, seq] {
             --state.macTxReserved;
+            // Poisoned frames are retired through a skip command: it
+            // flows through both MAC stages (so every other frame's
+            // completion ordering is untouched) but never touches the
+            // SDRAM bus or the wire.
+            bool skip = faults &&
+                state.txPoison[seq % state.config.txSlots];
+            if (skip) {
+                faults->notePoisonSkip();
+                if (onPoisonSkip)
+                    onPoisonSkip(seq);
+            }
             bool ok = macTx.push(MacTx::Command{
                 slot, len,
                 [this] {
                     ++state.macTxDone;
                     hwCounterWrite(FwState::CtrMacTxDone,
                                    state.macTxDone, ids.macTx);
-                }});
-            panic_if(!ok, "mac tx FIFO overflow despite reservation");
+                },
+                skip});
+            panic_if(!ok, "[fw commit] mac tx FIFO overflow despite "
+                     "reservation @tick ", dmaRead.curTick());
         });
     }
     state.txMacEnqueued += count;
@@ -692,7 +723,8 @@ FwTasks::tryProcessTxComplete(OpRecorder &rec)
             driver.txConsumedMailbox(),
             state.counterAddr(FwState::CtrTxComplProcessed), 4, 0,
             [this, upto] { driver.txConsumedUpTo(upto); }});
-        panic_if(!ok, "dma write FIFO overflow despite reservation");
+        panic_if(!ok, "[fw tx-complete] dma write FIFO overflow despite "
+                 "reservation @tick ", dmaWrite.curTick());
     });
     return true;
 }
@@ -759,7 +791,8 @@ FwTasks::tryFetchRecvBd(OpRecorder &rec)
                 hwCounterWrite(FwState::CtrRxBdArrived,
                                state.rxBdArrivedBds, ids.dmaRead);
             }});
-        panic_if(!ok, "dma read FIFO overflow despite reservation");
+        panic_if(!ok, "[fw recv-bd] dma read FIFO overflow despite "
+                 "reservation @tick ", dmaRead.curTick());
     });
     unlock(rec, FwLock::RecvDispatch, FuncTag::RecvLock);
     return true;
@@ -909,8 +942,18 @@ FwTasks::tryRecvFrame(OpRecorder &rec)
                     ++state.rxCmdsCompleted;
                     hwCounterWrite(FwState::CtrRxCmdsCompleted,
                                    state.rxCmdsCompleted, ids.dmaWrite);
+                },
+                [this, slot_idx] {
+                    // Content DMA abandoned: the host buffer holds
+                    // stale bytes.  Zero the completion descriptor's
+                    // length word so the driver recycles the buffer
+                    // instead of delivering junk; ordering is kept
+                    // because the completion still posts.
+                    state.spad.storage().storeWord(
+                        state.rxComplBase + slot_idx * 16 + 8, 0);
                 }});
-            panic_if(!ok, "dma write FIFO overflow despite reservation");
+            panic_if(!ok, "[fw recv] dma write FIFO overflow despite "
+                     "reservation @tick ", dmaWrite.curTick());
         });
     }
     return true;
@@ -1048,8 +1091,8 @@ FwTasks::tryProcessRxDma(OpRecorder &rec)
                         (static_cast<Addr>(w[1]) << 32);
                     driver.rxCompletion(buf, w[2]);
                 }});
-            panic_if(!ok,
-                     "dma write FIFO overflow despite reservation");
+            panic_if(!ok, "[fw rx-commit] dma write FIFO overflow "
+                     "despite reservation @tick ", dmaWrite.curTick());
         });
     }
     state.rxCommitted += count;

@@ -83,6 +83,22 @@ class FwTasks
     bool quiescent() const;
 
     /**
+     * Wire up fault injection (fault-enabled runs only).  Claimed tx
+     * frames roll per-frame poison; poisoned frames are skipped at
+     * the in-order MAC handoff (the skip still flows through both MAC
+     * stages, so every other frame's ordering is untouched) and
+     * @p on_poison_skip reports the skipped firmware sequence number
+     * so the wire-side validator can expect the hole.
+     */
+    void
+    attachFaults(FaultInjector *f,
+                 std::function<void(std::uint64_t)> on_poison_skip)
+    {
+        faults = f;
+        onPoisonSkip = std::move(on_poison_skip);
+    }
+
+    /**
      * Hook fired whenever outside work arrives or progresses (host
      * doorbells and hardware counter writes) -- everything that can
      * flip a dispatch-check predicate.  The controller uses it to wake
@@ -148,6 +164,8 @@ class FwTasks
     Addr rxBufSdram;
     AssistIds ids;
     std::function<void()> onWorkArrival;
+    FaultInjector *faults = nullptr; //!< null on fault-free runs
+    std::function<void(std::uint64_t)> onPoisonSkip;
 };
 
 } // namespace tengig

@@ -37,6 +37,7 @@ DeviceDriver::DeviceDriver(HostMemory &host_, const Config &cfg)
     txConsumedAddr = host.alloc(8, 8);
     rxBufBase = host.alloc(static_cast<std::size_t>(cfg.recvPoolBuffers) *
                            ethMaxFrameBytes, 64);
+    txPostedMeta.assign(cfg.sendRingFrames, {0, 0});
 }
 
 void
@@ -71,8 +72,10 @@ DeviceDriver::postOneSendFrame()
         fatal_if(bytes < 18 || bytes > udpMaxPayloadBytes,
                  "tx schedule payload out of range: ", bytes);
         payload = bytes;
+        std::uint32_t fseq = txFlowSeq[flow]++;
         host.store().putFrame(
-            buf, FrameDesc{hdr_seed, txFlowSeq[flow]++, flow, payload});
+            buf, FrameDesc{hdr_seed, fseq, flow, payload});
+        txPostedMeta[seq % config.sendRingFrames] = {flow, fseq};
     } else {
         host.store().putSpan(
             buf,
@@ -85,6 +88,8 @@ DeviceDriver::postOneSendFrame()
                 {FrameDesc{hdr_seed, static_cast<std::uint32_t>(seq + s),
                            0, payload},
                  txHeaderBytes, payload});
+            txPostedMeta[(seq + s) % config.sendRingFrames] =
+                {0, static_cast<std::uint32_t>(seq + s)};
         }
     }
 
@@ -174,6 +179,17 @@ DeviceDriver::postRecvBds(unsigned n)
 void
 DeviceDriver::rxCompletion(Addr host_buf, std::uint32_t len)
 {
+    if (len == 0) {
+        // The NIC zeroed the completion length: the frame's content
+        // DMA was abandoned under fault injection and the buffer holds
+        // stale bytes.  Recycle it without delivering anything.
+        ++rxFaultDrops;
+        ++rxBuffersReturned;
+        std::uint64_t outstanding = rxBdsPosted - rxBuffersReturned;
+        if (outstanding + config.recvPostBatch <= config.recvPoolBuffers)
+            postRecvBds(config.recvPostBatch);
+        return;
+    }
     ++rxDelivered;
     // Descriptor fast path: a clean frame lands as one whole-frame
     // span and validates in O(1).  Corrupted or previously

@@ -163,8 +163,28 @@ class DeviceDriver
      *  Informational, not an error -- receive drops are legitimate. */
     std::uint64_t rxSeqGaps() const { return rxGaps.value(); }
 
+    /** Zero-length completions: the NIC abandoned the frame's content
+     *  DMA under fault injection; the buffer was recycled without
+     *  delivering the (stale) bytes.  Graceful degradation, not a
+     *  validation failure. */
+    std::uint64_t rxFaultDropCount() const { return rxFaultDrops.value(); }
+
     std::uint64_t recvBdsPosted() const { return rxBdsPosted; }
     /// @}
+
+    /**
+     * (flow, flow-local sequence) the driver stamped into posted frame
+     * number @p seq.  Ring-indexed by the send ring, so valid for any
+     * frame not yet consumed -- which is exactly when the firmware can
+     * still skip it.  Lets the fault plumbing translate a skipped
+     * firmware sequence into the per-flow hole the wire-side validator
+     * should expect.
+     */
+    std::pair<std::uint32_t, std::uint32_t>
+    txFrameMeta(std::uint64_t seq) const
+    {
+        return txPostedMeta[seq % config.sendRingFrames];
+    }
 
   private:
     void postOneSendFrame();
@@ -182,6 +202,8 @@ class DeviceDriver
     bool backlogged = false;
     std::function<void(std::uint64_t)> sendDoorbell;
     std::unordered_map<std::uint32_t, std::uint32_t> txFlowSeq;
+    /** Ring of (flow, flow seq) per posted frame; see txFrameMeta(). */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> txPostedMeta;
 
     // RX state.
     Addr recvRing;
@@ -201,6 +223,7 @@ class DeviceDriver
     stats::Counter rxBad;
     stats::Counter rxOutOfOrder;
     stats::Counter rxGaps;
+    stats::Counter rxFaultDrops;
 };
 
 } // namespace tengig

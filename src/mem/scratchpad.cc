@@ -168,7 +168,9 @@ Scratchpad::executeAt(const Request &req)
       case SpadOp::RmwTiming:
         return 0;
     }
-    panic("unreachable scratchpad op");
+    panic("[scratchpad] unreachable op ",
+          static_cast<unsigned>(req.op), " at addr ", req.addr,
+          " @tick ", curTick());
 }
 
 std::uint32_t

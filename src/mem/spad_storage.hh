@@ -71,8 +71,8 @@ class SpadStorage
     alloc(std::size_t bytes, std::size_t align = 4)
     {
         Addr base = (brk + align - 1) & ~static_cast<Addr>(align - 1);
-        fatal_if(base + bytes > mem.size(),
-                 "scratchpad exhausted: need ", bytes, "B at ", base,
+        fatal_if(bytes > mem.size() || base > mem.size() - bytes,
+                 "[scratchpad] exhausted: need ", bytes, "B at ", base,
                  ", capacity ", mem.size(), "B");
         brk = base + bytes;
         return base;
@@ -85,8 +85,8 @@ class SpadStorage
     void
     checkRange(Addr addr, std::size_t len) const
     {
-        panic_if(addr + len > mem.size(),
-                 "scratchpad access out of range: addr=", addr,
+        panic_if(len > mem.size() || addr > mem.size() - len,
+                 "[scratchpad] access out of range: addr=", addr,
                  " len=", len, " capacity=", mem.size());
     }
 

@@ -21,9 +21,11 @@ Machine::setReg(unsigned r, std::uint32_t v)
 void
 Machine::checkAddr(std::uint32_t addr, unsigned bytes) const
 {
-    panic_if(addr + bytes > mem.size(),
-             "mips memory access out of range: addr=", addr);
-    panic_if(bytes == 4 && (addr & 3), "unaligned word access: ", addr);
+    panic_if(bytes > mem.size() || addr > mem.size() - bytes,
+             "[mips] memory access out of range: addr=", addr,
+             " len=", bytes, " capacity=", mem.size());
+    panic_if(bytes == 4 && (addr & 3),
+             "[mips] unaligned word access: addr=", addr);
 }
 
 std::uint32_t

@@ -70,10 +70,18 @@ FrameSink::deliver(const FrameView &v)
     // The transmit path never drops, so any deviation from the exact
     // posting order is a violation: a forward jump means frames went
     // missing, a regression means a duplicate or reordered frame.
-    if (seq > expected)
-        ++gaps;
-    else if (seq < expected)
+    if (seq > expected) {
+        // Holes fully covered by announced fault-injected drops are
+        // graceful degradation; anything beyond them is a real gap.
+        std::uint64_t matched = 0;
+        for (std::uint32_t s = expected; s < seq; ++s)
+            matched += noted.erase(s);
+        injected += matched;
+        if (matched < seq - expected)
+            ++gaps;
+    } else if (seq < expected) {
         ++duplicates;
+    }
     expected = seq + 1;
 }
 

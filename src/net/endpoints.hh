@@ -16,6 +16,7 @@
 #define TENGIG_NET_ENDPOINTS_HH
 
 #include <functional>
+#include <set>
 
 #include "net/frame.hh"
 #include "sim/event_queue.hh"
@@ -127,13 +128,25 @@ class FrameSink
 
     std::uint32_t nextExpectedSeq() const { return expected; }
 
+    /**
+     * Announce a deliberate (fault-injected) drop of @p seq before the
+     * next frame arrives: the resulting hole is then counted as an
+     * injected drop rather than a gap error.
+     */
+    void noteInjectedDrop(std::uint32_t seq) { noted.insert(seq); }
+
+    /** Sequence holes matched against noteInjectedDrop announcements. */
+    std::uint64_t injectedDrops() const { return injected.value(); }
+
   private:
     std::uint32_t expected = 0;
+    std::set<std::uint32_t> noted;
     stats::Counter frames;
     stats::Counter payload;
     stats::Counter badPayload;
     stats::Counter gaps;
     stats::Counter duplicates;
+    stats::Counter injected;
 };
 
 } // namespace tengig

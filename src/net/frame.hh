@@ -157,6 +157,20 @@ struct FrameView
 };
 
 /**
+ * Wire-level damage a frame picked up before reaching the MAC.  The
+ * MAC cannot see a bit flip directly -- it sees the CRC mismatch --
+ * so the flag models the (not explicitly computed) CRC check result
+ * deterministically.  Runts carry no flag: their length alone is the
+ * evidence.
+ */
+enum class WireFault : std::uint8_t
+{
+    None = 0,
+    Crc,        //!< payload corrupted; frame CRC would not match
+    Truncated,  //!< cut short mid-frame; CRC would not match
+};
+
+/**
  * A frame as it exists in the simulation.  Steady-state frames carry
  * only a FrameDesc; frames built or mutated byte-by-byte (tests,
  * corruption paths) carry real bytes.  The first 16 payload bytes
@@ -170,6 +184,7 @@ struct FrameData
 {
     std::vector<std::uint8_t> bytes; //!< header + payload (no CRC)
     std::optional<FrameDesc> desc;   //!< set iff bytes is empty
+    WireFault wireFault = WireFault::None; //!< damage picked up in transit
 
     /** Frame length excluding CRC. */
     unsigned

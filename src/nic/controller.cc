@@ -86,6 +86,11 @@ NicController::build()
     dmaWrite = std::make_unique<DmaAssist>(eq, *cpuClk, *spad, *ram,
                                            *hostMem, ids.dmaWrite,
                                            sdDmaWr, cfg.dmaFifoDepth);
+    if (cfg.faults.enabled()) {
+        injector = std::make_unique<FaultInjector>(cfg.faults, eq);
+        dmaRead->attachFaults(injector.get());
+        dmaWrite->attachFaults(injector.get());
+    }
     if (cfg.txTraffic.enabled()) {
         macTx = std::make_unique<MacTx>(
             eq, *cpuClk, *ram,
@@ -101,6 +106,19 @@ NicController::build()
     tasks = std::make_unique<FwTasks>(*fwState, *dmaRead, *dmaWrite,
                                       *macTx, *driver, *hostMem,
                                       txBufSdram, rxBufSdram, ids);
+    if (injector) {
+        // Poison skips leave deliberate holes in the wire stream; the
+        // skipped firmware sequence maps back to (flow, flow seq) via
+        // the driver's posted-frame metadata so the wire-side
+        // validator can expect exactly that hole.
+        tasks->attachFaults(injector.get(), [this](std::uint64_t seq) {
+            auto [flow, fseq] = driver->txFrameMeta(seq);
+            if (cfg.txTraffic.enabled())
+                txFlow.noteInjectedDrop(flow, fseq);
+            else
+                sink.noteInjectedDrop(fseq);
+        });
+    }
 
     macRx = std::make_unique<MacRx>(
         eq, *cpuClk, *ram, sdMacRx,
@@ -122,11 +140,15 @@ NicController::build()
             });
     }
 
+    // Doorbells go through the lost-notification recovery channels;
+    // with injection disabled ringDoorbell() is a direct passthrough.
+    sendDb.retry.init(eq, [this] { doorbellRetry(sendDb, true); });
+    recvDb.retry.init(eq, [this] { doorbellRetry(recvDb, false); });
     driver->onSendDoorbell([this](std::uint64_t bds) {
-        tasks->sendDoorbell(bds);
+        ringDoorbell(sendDb, bds, true);
     });
     driver->onRecvDoorbell([this](std::uint64_t bds) {
-        tasks->recvDoorbell(bds);
+        ringDoorbell(recvDb, bds, false);
     });
 
     fatal_if(cfg.taskLevelFirmware && cfg.firmware.idealMode,
@@ -159,6 +181,21 @@ NicController::build()
         }
     }
 
+    if (cfg.faults.watchdogCycles != 0) {
+        fwWatchdog = std::make_unique<FirmwareWatchdog>(
+            eq, cfg.faults.watchdogCycles * cpuClk->period());
+        for (auto &c : cores) {
+            Core *core = c.get();
+            fwWatchdog->addCore(FirmwareWatchdog::CoreProbe{
+                [core] { return core->lastRetireTick(); },
+                [core] { return core->isParked(); }});
+        }
+        // Idle cores are not stalled: only a busy pipeline whose cores
+        // stop retiring invocations trips the watchdog.
+        fwWatchdog->setBusy([this] { return !tasks->quiescent(); });
+        fwWatchdog->setDump([this] { return fwState->pipelineReport(); });
+    }
+
     occEvent.init(eq, [this] { occupancySample(); },
                   EventPriority::Stats);
 
@@ -172,9 +209,70 @@ NicController::wakeCores()
         c->wake();
 }
 
+void
+NicController::ringDoorbell(DoorbellChannel &ch, std::uint64_t value,
+                            bool send)
+{
+    // Doorbell values are monotonic totals, so the latest subsumes any
+    // earlier (possibly lost) ring and redelivery is idempotent.
+    ch.latest = std::max(ch.latest, value);
+    if (injector && injector->rollDoorbellDrop()) {
+        // The mailbox write vanished.  The host driver's timeout
+        // notices and retries; an already-armed retry covers this ring
+        // too (it delivers `latest`).
+        if (!ch.pending) {
+            ch.pending = true;
+            ch.backoff = 0;
+            ch.retry.scheduleIn(cfg.faults.doorbellRetryTimeout);
+        }
+        return;
+    }
+    // Delivered: any pending retry is now stale.
+    if (ch.pending) {
+        ch.pending = false;
+        ch.backoff = 0;
+        ch.retry.cancel();
+    }
+    if (send)
+        tasks->sendDoorbell(ch.latest);
+    else
+        tasks->recvDoorbell(ch.latest);
+}
+
+void
+NicController::doorbellRetry(DoorbellChannel &ch, bool send)
+{
+    injector->noteDoorbellRetry();
+    if (injector->rollDoorbellDrop()) {
+        // Retry lost too: back off exponentially (bounded).
+        if (ch.backoff < cfg.faults.doorbellBackoffMax)
+            ++ch.backoff;
+        ch.retry.scheduleIn(cfg.faults.doorbellRetryTimeout
+                            << ch.backoff);
+        return;
+    }
+    ch.pending = false;
+    ch.backoff = 0;
+    if (send)
+        tasks->sendDoorbell(ch.latest);
+    else
+        tasks->recvDoorbell(ch.latest);
+}
+
+void
+NicController::checkLiveness()
+{
+    liveness.check(eq.empty(), !tasks->quiescent(),
+                   [this] { return fwState->pipelineReport(); });
+}
+
 bool
 NicController::rxArrived(FrameData &&fd)
 {
+    // Wire damage happens before the NIC sees anything: a corrupted
+    // frame is what arrives, and the MAC's validation decides its fate.
+    if (injector)
+        injector->applyWireFault(fd);
     // Timestamp the wire arrival before handing the frame to the MAC;
     // the delivery tap in rxCompletion() closes the pair.  Only frames
     // the MAC accepts are tracked (drops never deliver).
@@ -335,6 +433,31 @@ NicController::registerAllStats()
         }
     }
 
+    if (cfg.faults.enabled()) {
+        // Conditional like the "traffic" group: fault-free runs keep
+        // the stat tree (and the determinism guard) untouched.
+        obs::StatGroup &f = statRoot.group("fault");
+        if (injector)
+            injector->registerStats(f);
+        macTx->registerFaultStats(f.group("macTx"));
+        macRx->registerFaultStats(f.group("macRx"));
+        if (fwWatchdog)
+            fwWatchdog->registerStats(f.group("watchdog"));
+        liveness.registerStats(f.group("liveness"));
+        f.derived("rxFaultDrops", [this] {
+            return static_cast<double>(driver->rxFaultDropCount());
+        }, "zero-length completions the driver recycled");
+        f.derived("txInjectedDropsSeen", [this] {
+            return static_cast<double>(
+                cfg.txTraffic.enabled() ? txFlow.injectedDrops()
+                                        : sink.injectedDrops());
+        }, "wire-side sequence holes matched to poison skips");
+        f.derived("dmaFifoFullRejects", [this] {
+            return static_cast<double>(dmaRead->fifoFullRejects() +
+                                       dmaWrite->fifoFullRejects());
+        }, "DMA pushes bounced off a full FIFO (both assists)");
+    }
+
     statRoot.group("latency").add(
         "rx", rxLatencyHist,
         "receive latency, wire arrival -> host delivery (ticks)");
@@ -395,6 +518,8 @@ NicController::startCores()
 {
     for (auto &c : cores)
         c->start();
+    if (fwWatchdog)
+        fwWatchdog->arm();
 }
 
 void
@@ -402,6 +527,8 @@ NicController::stopCores()
 {
     for (auto &c : cores)
         c->stop();
+    if (fwWatchdog)
+        fwWatchdog->disarm();
 }
 
 void
@@ -553,6 +680,7 @@ NicController::runWindow(Tick warmup, std::function<void()> on_start,
     startCores();
 
     eq.runUntil(warmup);
+    checkLiveness();
     if (on_start)
         on_start();
 
@@ -568,6 +696,7 @@ NicController::runWindow(Tick warmup, std::function<void()> on_start,
     std::uint64_t imem0 = imem->bytesTransferred();
 
     eq.runUntil(warmup + measure);
+    checkLiveness();
     if (on_end)
         on_end();
 
@@ -592,6 +721,7 @@ NicController::runTxOnly(unsigned frames, Tick limit)
     while (eq.curTick() < limit &&
            driver->txFramesConsumed() < frames) {
         eq.runUntil(eq.curTick() + step);
+        checkLiveness();
     }
     NicResults r = collect(eq.curTick(), 0, 0, 0, 0);
     stopCores();
@@ -609,6 +739,7 @@ NicController::runRxOnly(unsigned frames, Tick limit)
     while (eq.curTick() < limit &&
            driver->rxFramesDelivered() < frames) {
         eq.runUntil(eq.curTick() + step);
+        checkLiveness();
     }
     NicResults r = collect(eq.curTick(), 0, 0, 0, 0);
     source->stop();

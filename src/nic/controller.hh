@@ -14,6 +14,8 @@
 
 #include "assist/dma_assist.hh"
 #include "assist/mac.hh"
+#include "fault/fault.hh"
+#include "fault/watchdog.hh"
 #include "firmware/frame_level.hh"
 #include "firmware/tasks.hh"
 #include "host/driver.hh"
@@ -164,6 +166,17 @@ class NicController
     TrafficEngine *rxTrafficEngine() { return rxEngine; }
 
     FrameGenerator &frameGenerator() { return *source; }
+
+    /** Fault injector; null unless cfg.faults.enabled(). */
+    FaultInjector *faultInjector() { return injector.get(); }
+
+    /** Firmware watchdog; null unless cfg.faults.watchdogCycles set. */
+    FirmwareWatchdog *firmwareWatchdog() { return fwWatchdog.get(); }
+
+    MacRx &macRxAssist() { return *macRx; }
+    MacTx &macTxAssist() { return *macTx; }
+    DmaAssist &dmaReadAssist() { return *dmaRead; }
+    DmaAssist &dmaWriteAssist() { return *dmaWrite; }
     /// @}
 
   private:
@@ -179,6 +192,27 @@ class NicController
                        std::uint64_t tx0_payload, std::uint64_t rx0_frames,
                        std::uint64_t rx0_payload);
     void resetAllStats();
+
+    /// @name Doorbell delivery with lost-notification recovery
+    /// Mailbox writes can be dropped by the fault injector; the host
+    /// driver's timeout rearms them with bounded exponential backoff.
+    /// Values are monotonic totals, so delivering the latest is always
+    /// correct and redelivery is idempotent.
+    /// @{
+    struct DoorbellChannel
+    {
+        std::uint64_t latest = 0; //!< newest value the driver rang
+        bool pending = false;     //!< a dropped ring awaits retry
+        unsigned backoff = 0;     //!< consecutive failed retries
+        RecurringEvent retry;
+    };
+    void ringDoorbell(DoorbellChannel &ch, std::uint64_t value,
+                      bool send);
+    void doorbellRetry(DoorbellChannel &ch, bool send);
+    /// @}
+
+    /** Fatal-if-hung check: event queue drained with frames in flight. */
+    void checkLiveness();
 
     /// @name Mode-independent delivery counters (legacy vs per-flow)
     /// @{
@@ -235,6 +269,15 @@ class NicController
     std::uint64_t occSpadPrev = 0;
     std::uint64_t occSdramBusyPrev = 0;
     RecurringEvent occEvent;
+    /// @}
+
+    /// @name Fault injection and graceful degradation (src/fault)
+    /// @{
+    std::unique_ptr<FaultInjector> injector;   //!< null when disabled
+    std::unique_ptr<FirmwareWatchdog> fwWatchdog;
+    LivenessMonitor liveness;
+    DoorbellChannel sendDb;
+    DoorbellChannel recvDb;
     /// @}
 };
 

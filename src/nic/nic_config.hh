@@ -6,6 +6,7 @@
 #ifndef TENGIG_NIC_NIC_CONFIG_HH
 #define TENGIG_NIC_NIC_CONFIG_HH
 
+#include "fault/fault.hh"
 #include "firmware/fw_state.hh"
 #include "net/frame.hh"
 #include "traffic/traffic_profile.hh"
@@ -46,6 +47,17 @@ struct NicConfig
      * the always-polling timing exactly.
      */
     bool idleSleep = false;
+
+    /**
+     * Deterministic fault injection (src/fault).  Disabled by default
+     * (all rates zero, watchdog off): every fault hook is then
+     * structurally absent and runs are bit-identical to a build without
+     * the subsystem.  Enabling any site also enables the graceful-
+     * degradation machinery (MAC validation drops, DMA retry/drop,
+     * doorbell retry, poison skips) and registers the "fault" stat
+     * subtree.
+     */
+    FaultPlan faults;
 
     /// @name Workload
     /// @{

@@ -160,7 +160,7 @@ StatGroup::value(const std::string &path) const
       case Kind::DerivedK:
         return e.fn();
     }
-    panic("unreachable stat kind");
+    panic("[stats] unreachable kind for stat '", path, "'");
 }
 
 bool

@@ -143,6 +143,7 @@ Core::nextInvocation()
             trackIdlePoll(curTick());
     } else {
         ++_stats.invocations;
+        lastRetire = curTick();
         if (idleSleepEnabled) {
             stableCount = 0;
             lastWasIdlePoll = false;
@@ -276,7 +277,7 @@ Core::beginOp()
         return;
       }
     }
-    panic("unreachable op kind");
+    panic("[core ", coreId, "] unreachable op kind @tick ", curTick());
 }
 
 void

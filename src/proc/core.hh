@@ -136,6 +136,13 @@ class Core : public Clocked
 
     bool isParked() const { return parked; }
 
+    /**
+     * Tick at which the core last retired a real (non-idle-poll)
+     * firmware invocation.  The firmware watchdog samples this: a busy
+     * pipeline whose cores stop advancing it is a stall.
+     */
+    Tick lastRetireTick() const { return lastRetire; }
+
     /** Register cycle-accounting stats into the owner's tree (src/obs). */
     void registerStats(obs::StatGroup &g) const;
 
@@ -241,6 +248,7 @@ class Core : public Clocked
     bool invTraced = false;           //!< an invocation span is open
     Tick invStart = 0;
     FuncTag invTag = FuncTag::Idle;
+    Tick lastRetire = 0;              //!< see lastRetireTick()
 
     mutable CoreStats _stats;
 };

@@ -23,13 +23,34 @@ FlowSink::deliver(const FrameView &v)
     ++pf.frames;
     pf.payloadBytes += plen;
     if (seq > pf.expected) {
-        ++pf.gaps;
-        ++gaps;
+        // Match the hole [expected, seq) against announced injected
+        // drops: a fully announced hole is graceful degradation, not
+        // a lost frame.  A partially announced hole still counts one
+        // gap (something was lost beyond what the NIC admitted to).
+        std::uint64_t matched = 0;
+        auto it = notedDrops.find(flow_id);
+        if (it != notedDrops.end()) {
+            for (std::uint32_t s = pf.expected; s < seq; ++s)
+                matched += it->second.erase(s);
+            if (it->second.empty())
+                notedDrops.erase(it);
+        }
+        injected += matched;
+        if (matched < seq - pf.expected) {
+            ++pf.gaps;
+            ++gaps;
+        }
     } else if (seq < pf.expected) {
         ++pf.duplicates;
         ++duplicates;
     }
     pf.expected = seq + 1;
+}
+
+void
+FlowSink::noteInjectedDrop(std::uint32_t flow_id, std::uint32_t seq)
+{
+    notedDrops[flow_id].insert(seq);
 }
 
 const FlowSink::PerFlow *

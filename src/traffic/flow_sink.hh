@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 
 #include "net/frame.hh"
 #include "sim/stats.hh"
@@ -58,6 +59,16 @@ class FlowSink
         deliver(v);
     }
 
+    /**
+     * Announce that the NIC deliberately dropped @p seq of @p flow_id
+     * under fault injection (a poisoned frame skipped at commit).  The
+     * resulting hole in the flow's sequence space is then accounted as
+     * an injected drop, not a gap error -- even on a lossless sink.
+     * Must be called before the next frame of the flow is delivered,
+     * which the NIC's in-order commit guarantees.
+     */
+    void noteInjectedDrop(std::uint32_t flow_id, std::uint32_t seq);
+
     /// @name Aggregate results
     /// @{
     std::uint64_t framesReceived() const { return frames.value(); }
@@ -65,6 +76,10 @@ class FlowSink
     std::uint64_t integrityErrors() const { return badPayload.value(); }
     std::uint64_t gapErrors() const { return gaps.value(); }
     std::uint64_t duplicateErrors() const { return duplicates.value(); }
+
+    /** Sequence holes matched against noteInjectedDrop announcements
+     *  (never part of errors()). */
+    std::uint64_t injectedDrops() const { return injected.value(); }
 
     /** Everything that violates this sink's contract. */
     std::uint64_t
@@ -94,12 +109,15 @@ class FlowSink
   private:
     bool lossless;
     std::map<std::uint32_t, PerFlow> perFlow;
+    /** Announced-but-not-yet-observed injected drops, per flow. */
+    std::map<std::uint32_t, std::set<std::uint32_t>> notedDrops;
 
     stats::Counter frames;
     stats::Counter payload;
     stats::Counter badPayload;
     stats::Counter gaps;
     stats::Counter duplicates;
+    stats::Counter injected;
     stats::Histogram sizeHist{64, 24};
 };
 

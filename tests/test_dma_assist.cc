@@ -125,12 +125,26 @@ TEST_F(DmaFixture, FifoBackpressure)
                 static_cast<Addr>(0x8000 + 2048 * i), 1518, 0, nullptr}));
         }
         EXPECT_TRUE(assist.full());
+        // Rejected pushes are counted: push()'s contract says the
+        // firmware must retry, and an uncounted reject would make a
+        // never-retried command invisible in the stat tree.
+        EXPECT_EQ(assist.fifoFullRejects(), 0u);
         EXPECT_FALSE(assist.push(DmaCommand{
+            DmaCommand::Kind::HostToSdram, 0x1000, 0x8000, 64, 0,
+            nullptr}));
+        EXPECT_EQ(assist.fifoFullRejects(), 1u);
+    });
+    eq.run();
+    EXPECT_EQ(assist.commandsCompleted(), 4u);
+    // Draining the FIFO makes room again; no further rejects.
+    eq.schedule(eq.curTick() + 1, [&] {
+        EXPECT_TRUE(assist.push(DmaCommand{
             DmaCommand::Kind::HostToSdram, 0x1000, 0x8000, 64, 0,
             nullptr}));
     });
     eq.run();
-    EXPECT_EQ(assist.commandsCompleted(), 4u);
+    EXPECT_EQ(assist.fifoFullRejects(), 1u);
+    EXPECT_EQ(assist.commandsCompleted(), 5u);
 }
 
 TEST_F(DmaFixture, SpadTransferMovesOneWordPerCycle)

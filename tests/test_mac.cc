@@ -134,6 +134,76 @@ TEST_F(MacFixture, ReceiveDropsWhenNoSlot)
     EXPECT_EQ(rx.framesStored(), 0u);
 }
 
+TEST_F(MacFixture, ReceiveDropsMalformedFramesBeforeBuffering)
+{
+    // Length/CRC validation runs ahead of any buffer or ring check:
+    // each malformed class is dropped with its own counter and never
+    // reaches the stored-frame callback (and so never the firmware).
+    std::vector<MacRx::StoredFrame> stored;
+    Addr next_slot = 0x10000;
+    MacRx rx(eq, cpu, ram, 3,
+             [&](unsigned) -> std::optional<Addr> {
+                 Addr a = next_slot;
+                 next_slot += 1536;
+                 return a;
+             },
+             [&](const MacRx::StoredFrame &sf) { stored.push_back(sf); });
+
+    eq.schedule(0, [&] {
+        FrameData runt;
+        runt.bytes.resize(40); // below the 60 B minimum (sans CRC)
+        EXPECT_FALSE(rx.frameArrived(std::move(runt)));
+
+        FrameData oversize;
+        oversize.bytes.resize(1600); // above the 1514 B maximum
+        EXPECT_FALSE(rx.frameArrived(std::move(oversize)));
+
+        FrameData bad_crc;
+        bad_crc.bytes.resize(1514);
+        bad_crc.wireFault = WireFault::Crc;
+        EXPECT_FALSE(rx.frameArrived(std::move(bad_crc)));
+
+        FrameData truncated;
+        truncated.bytes.resize(200); // legal length, cut short on wire
+        truncated.wireFault = WireFault::Truncated;
+        EXPECT_FALSE(rx.frameArrived(std::move(truncated)));
+    });
+    eq.run();
+
+    EXPECT_EQ(rx.runtDrops(), 1u);
+    EXPECT_EQ(rx.oversizeDrops(), 1u);
+    EXPECT_EQ(rx.crcDrops(), 1u);
+    EXPECT_EQ(rx.truncatedDrops(), 1u);
+    EXPECT_EQ(rx.malformedDrops(), 4u);
+    EXPECT_EQ(rx.framesDropped(), 0u); // overload drops stay separate
+    EXPECT_EQ(rx.framesStored(), 0u);
+    EXPECT_TRUE(stored.empty());
+}
+
+TEST_F(MacFixture, ReceiveAcceptsHealthyFrameAfterMalformedBurst)
+{
+    // A malformed drop leaves no residue: the very next clean frame
+    // takes the normal store path.
+    std::vector<MacRx::StoredFrame> stored;
+    MacRx rx(eq, cpu, ram, 3,
+             [](unsigned) -> std::optional<Addr> { return 0x10000; },
+             [&](const MacRx::StoredFrame &sf) { stored.push_back(sf); });
+    eq.schedule(0, [&] {
+        FrameData bad;
+        bad.bytes.resize(100);
+        bad.wireFault = WireFault::Crc;
+        EXPECT_FALSE(rx.frameArrived(std::move(bad)));
+        FrameData good;
+        good.bytes.resize(100);
+        EXPECT_TRUE(rx.frameArrived(std::move(good)));
+    });
+    eq.run();
+    EXPECT_EQ(rx.crcDrops(), 1u);
+    EXPECT_EQ(rx.framesStored(), 1u);
+    ASSERT_EQ(stored.size(), 1u);
+    EXPECT_EQ(stored[0].lenBytes, 100u);
+}
+
 TEST_F(MacFixture, ReceiveDropsWhenBufferBusy)
 {
     // More than two frames arriving while SDRAM writes are in flight

@@ -7,6 +7,9 @@
 #   tools/check.sh --bench    # build + run the sim-speed benchmark and
 #                             # print events/sec deltas vs the committed
 #                             # BENCH_sim_speed.json (if present)
+#   tools/check.sh --faults   # build + run the fault-storm soak (the
+#                             # graceful-degradation contracts; nonzero
+#                             # exit on any violation)
 #   TENGIG_SANITIZE=ON tools/check.sh
 #                             # ASan+UBSan build in a separate tree
 #
@@ -78,6 +81,15 @@ if regressed:
     sys.exit(1)
 EOF
     exit $?
+fi
+
+if [ "${1:-}" = "--faults" ]; then
+    # Fault-injection soak: the bench itself asserts the degradation
+    # contracts (zero corrupted payloads, full fault accounting, >= 95%
+    # post-storm recovery) and exits nonzero on any violation.
+    cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize"
+    cmake --build "$build" -j"$(nproc)" --target fault_storm
+    exec "$build/bench/fault_storm" "--json=$build/BENCH_fault_storm.json"
 fi
 
 ctest_args="--output-on-failure -j$(nproc)"
