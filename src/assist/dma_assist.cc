@@ -154,11 +154,11 @@ void
 DmaAssist::frameBurstDone()
 {
     DmaCommand &c = queue.front();
-    if (faults->rollMemFault()) {
+    if (faults->rollMemFault(c.vf)) {
         if (!curRetried) {
             // Transient error: pay for one full re-issued burst.
             curRetried = true;
-            faults->noteMemRetry();
+            faults->noteMemRetry(c.vf);
             issueFrameBurst();
             return;
         }
@@ -166,7 +166,7 @@ DmaAssist::frameBurstDone()
         // is left unwritten; onFault lets the owner degrade the frame
         // (poison / zero-length completion) instead of shipping the
         // stale bytes.
-        faults->noteMemDrop();
+        faults->noteMemDrop(c.vf);
         finishCurrent(/*faulted=*/true);
         return;
     }
@@ -194,12 +194,13 @@ void
 DmaAssist::spadWordStep()
 {
     if (curRemaining == 0) {
-        if (faults && faults->rollMemFault()) {
+        DmaCommand &front = queue.front();
+        if (faults && faults->rollMemFault(front.vf)) {
             // Control metadata (descriptors, completions) must never
             // be dropped -- stale control state is corruption, not
             // degradation -- so scratchpad transfers retry until
             // clean.  Replaying the word loop is idempotent.
-            faults->noteMemRetry();
+            faults->noteMemRetry(front.vf);
             DmaCommand &c = queue.front();
             spadWordLoop(c.hostAddr, c.localAddr, c.len,
                          c.kind == DmaCommand::Kind::HostToSpad);

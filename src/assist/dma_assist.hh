@@ -59,6 +59,10 @@ struct DmaCommand
      *  written and the owner must take its degradation action
      *  (poison the tx frame / zero the rx completion length). */
     std::function<void()> onFault = {};
+    /** Owning virtual function (src/vnic): fault rolls and their
+     *  accounting charge this tenant.  Control-metadata transfers
+     *  (BD fetches, writebacks) stay on VF 0, the legacy stream. */
+    unsigned vf = 0;
 };
 
 /**

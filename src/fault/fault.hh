@@ -13,6 +13,14 @@
  * exactly by its detection/recovery counter downstream (see
  * DESIGN.md §12).
  *
+ * Multi-tenant runs (src/vnic) give every virtual function its own
+ * FaultPlan: the injector then holds one tenant per VF, with streams
+ * derived from (tenant seed, site + (vf << 8)).  Tenant 0's site ids
+ * are exactly the legacy ids, so a single-tenant injector is
+ * bit-identical to the pre-vnic subsystem, and a storm armed on one
+ * tenant cannot perturb -- or even consume randomness from -- any
+ * other tenant's streams (DESIGN.md §13).
+ *
  * With a default (all-zero) plan, nothing in the datapath consults
  * the injector: timing, stat trees and bench JSON stay bit-identical
  * to a build without the subsystem, which the determinism guard in
@@ -23,6 +31,7 @@
 #define TENGIG_FAULT_FAULT_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "net/frame.hh"
 #include "sim/event_queue.hh"
@@ -116,22 +125,57 @@ class FaultClock
  * The per-run fault source: rolls faults at each wired site and keeps
  * the injected/recovered accounting.  One instance per NicController
  * run; every datapath hook holds a pointer that is null when the plan
- * is disabled.
+ * is disabled.  Each roll/note entry point takes the tenant (VF)
+ * index, defaulting to 0 -- the only tenant on single-function runs.
  */
 class FaultInjector
 {
   public:
+    /** Injected/recovered counters for one tenant. */
+    struct Counters
+    {
+        stats::Counter wireCrc;
+        stats::Counter wireTrunc;
+        stats::Counter wireRunt;
+        stats::Counter memFaults;
+        stats::Counter memRetries;
+        stats::Counter memDrops;
+        stats::Counter doorbellLost;
+        stats::Counter doorbellRetries;
+        stats::Counter doorbellBackoffTicks;
+        stats::Counter txPoisoned;
+        stats::Counter poisonSkips;
+
+        std::uint64_t
+        totalInjected() const
+        {
+            return wireCrc.value() + wireTrunc.value() +
+                   wireRunt.value() + memFaults.value() +
+                   doorbellLost.value() + txPoisoned.value();
+        }
+    };
+
+    /** Single-function NIC: one tenant driven by @p plan. */
     FaultInjector(const FaultPlan &plan, EventQueue &eq);
 
-    const FaultPlan &plan() const { return _plan; }
+    /** Multi-tenant NIC: one tenant per VF, each with its own plan. */
+    FaultInjector(const std::vector<FaultPlan> &plans, EventQueue &eq);
 
-    /** True while inside the storm window. */
-    bool
-    stormActive() const
+    std::size_t tenantCount() const { return tenants.size(); }
+
+    const FaultPlan &plan(unsigned vf = 0) const
     {
+        return tenants[vf].plan;
+    }
+
+    /** True while inside tenant @p vf's storm window. */
+    bool
+    stormActive(unsigned vf = 0) const
+    {
+        const FaultPlan &p = tenants[vf].plan;
         Tick now = eq.curTick();
-        return now >= _plan.stormStart &&
-               (_plan.stormEnd == 0 || now < _plan.stormEnd);
+        return now >= p.stormStart &&
+               (p.stormEnd == 0 || now < p.stormEnd);
     }
 
     /// @name Wire faults (before MAC RX)
@@ -141,83 +185,155 @@ class FaultInjector
      * fault class applies per frame (rolled in fixed order: CRC,
      * truncation, runt).  @return true when the frame was corrupted.
      */
-    bool applyWireFault(FrameData &fd);
+    bool applyWireFault(FrameData &fd, unsigned vf = 0);
 
-    std::uint64_t wireCrcInjected() const { return wireCrc.value(); }
-    std::uint64_t wireTruncInjected() const { return wireTrunc.value(); }
-    std::uint64_t wireRuntInjected() const { return wireRunt.value(); }
+    std::uint64_t wireCrcInjected() const { return sum(&Counters::wireCrc); }
+    std::uint64_t wireTruncInjected() const
+    {
+        return sum(&Counters::wireTrunc);
+    }
+    std::uint64_t wireRuntInjected() const
+    {
+        return sum(&Counters::wireRunt);
+    }
     /// @}
 
     /// @name Transient memory faults (DmaAssist)
     /// @{
     /** Roll a transient error for one completed DMA transfer. */
-    bool rollMemFault();
-    void noteMemRetry() { ++memRetries; }
-    void noteMemDrop() { ++memDrops; }
+    bool rollMemFault(unsigned vf = 0);
+    void noteMemRetry(unsigned vf = 0) { ++tenants[vf].ctr.memRetries; }
+    void noteMemDrop(unsigned vf = 0) { ++tenants[vf].ctr.memDrops; }
 
-    std::uint64_t memFaultsInjected() const { return memFaults.value(); }
-    std::uint64_t memRetriesTaken() const { return memRetries.value(); }
-    std::uint64_t memDropsTaken() const { return memDrops.value(); }
+    std::uint64_t memFaultsInjected() const
+    {
+        return sum(&Counters::memFaults);
+    }
+    std::uint64_t memRetriesTaken() const
+    {
+        return sum(&Counters::memRetries);
+    }
+    std::uint64_t memDropsTaken() const { return sum(&Counters::memDrops); }
     /// @}
 
     /// @name Lost doorbells (host driver -> firmware mailbox)
     /// @{
     /** Roll a lost notification for one doorbell ring. */
-    bool rollDoorbellDrop();
-    void noteDoorbellRetry() { ++doorbellRetries; }
+    bool rollDoorbellDrop(unsigned vf = 0);
+    void noteDoorbellRetry(unsigned vf = 0)
+    {
+        ++tenants[vf].ctr.doorbellRetries;
+    }
+    /** Account the extra delay one backed-off retry rearm added. */
+    void noteDoorbellBackoff(Tick delay, unsigned vf = 0)
+    {
+        tenants[vf].ctr.doorbellBackoffTicks += delay;
+    }
 
-    std::uint64_t doorbellsLost() const { return doorbellLost.value(); }
+    std::uint64_t doorbellsLost() const
+    {
+        return sum(&Counters::doorbellLost);
+    }
     std::uint64_t doorbellRetriesTaken() const
     {
-        return doorbellRetries.value();
+        return sum(&Counters::doorbellRetries);
+    }
+    std::uint64_t doorbellBackoffTicks() const
+    {
+        return sum(&Counters::doorbellBackoffTicks);
     }
     /// @}
 
     /// @name Firmware-visible per-frame poison (tx commit skip)
     /// @{
     /** Roll poison for one claimed transmit frame. */
-    bool rollTxPoison();
-    void notePoisonSkip() { ++poisonSkips; }
+    bool rollTxPoison(unsigned vf = 0);
+    void notePoisonSkip(unsigned vf = 0)
+    {
+        ++tenants[vf].ctr.poisonSkips;
+    }
 
-    std::uint64_t txFramesPoisoned() const { return txPoisoned.value(); }
-    std::uint64_t poisonSkipsTaken() const { return poisonSkips.value(); }
+    std::uint64_t txFramesPoisoned() const
+    {
+        return sum(&Counters::txPoisoned);
+    }
+    std::uint64_t poisonSkipsTaken() const
+    {
+        return sum(&Counters::poisonSkips);
+    }
     /// @}
 
     /** All injected faults, summed (for "storm really happened"). */
     std::uint64_t
     totalInjected() const
     {
-        return wireCrc.value() + wireTrunc.value() + wireRunt.value() +
-               memFaults.value() + doorbellLost.value() +
-               txPoisoned.value();
+        std::uint64_t n = 0;
+        for (const Tenant &t : tenants)
+            n += t.ctr.totalInjected();
+        return n;
     }
 
-    /** Register injected/recovered counters into the stat tree. */
+    /** Tenant @p vf's injected/recovered counters. */
+    const Counters &counters(unsigned vf = 0) const
+    {
+        return tenants[vf].ctr;
+    }
+
+    /**
+     * Register injected/recovered counters into the stat tree.  A
+     * single-tenant injector registers its live counters (the legacy
+     * tree); a multi-tenant one registers per-class aggregates under
+     * the same names, with per-tenant live counters available via
+     * registerTenantStats().
+     */
     void registerStats(obs::StatGroup &g) const;
+
+    /** Register tenant @p vf's counters (the vf.<id>.fault subtree). */
+    void registerTenantStats(obs::StatGroup &g, unsigned vf) const;
+
     void resetStats();
 
   private:
-    FaultPlan _plan;
-    EventQueue &eq;
-
-    /// @name Per-site streams (ids are stable; never renumber)
+    /// @name Per-site stream ids (stable; never renumber)
+    /// Tenant vf's site id is `site + (vf << 8)`, so tenant 0 keeps
+    /// the legacy ids and streams bit-identically.
     /// @{
-    FaultClock wireClock;      //!< site 1
-    FaultClock memClock;       //!< site 2
-    FaultClock doorbellClock;  //!< site 3
-    FaultClock poisonClock;    //!< site 4
+    static constexpr std::uint64_t siteWire = 1;
+    static constexpr std::uint64_t siteMem = 2;
+    static constexpr std::uint64_t siteDoorbell = 3;
+    static constexpr std::uint64_t sitePoison = 4;
     /// @}
 
-    stats::Counter wireCrc;
-    stats::Counter wireTrunc;
-    stats::Counter wireRunt;
-    stats::Counter memFaults;
-    stats::Counter memRetries;
-    stats::Counter memDrops;
-    stats::Counter doorbellLost;
-    stats::Counter doorbellRetries;
-    stats::Counter txPoisoned;
-    stats::Counter poisonSkips;
+    struct Tenant
+    {
+        Tenant(const FaultPlan &p, unsigned vf)
+            : plan(p),
+              wireClock(p.seed, siteWire + (std::uint64_t(vf) << 8)),
+              memClock(p.seed, siteMem + (std::uint64_t(vf) << 8)),
+              doorbellClock(p.seed,
+                            siteDoorbell + (std::uint64_t(vf) << 8)),
+              poisonClock(p.seed, sitePoison + (std::uint64_t(vf) << 8))
+        {}
+
+        FaultPlan plan;
+        FaultClock wireClock;
+        FaultClock memClock;
+        FaultClock doorbellClock;
+        FaultClock poisonClock;
+        Counters ctr;
+    };
+
+    std::uint64_t
+    sum(const stats::Counter Counters::*m) const
+    {
+        std::uint64_t n = 0;
+        for (const Tenant &t : tenants)
+            n += (t.ctr.*m).value();
+        return n;
+    }
+
+    EventQueue &eq;
+    std::vector<Tenant> tenants;
 };
 
 } // namespace tengig

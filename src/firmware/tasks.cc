@@ -427,7 +427,7 @@ FwTasks::trySendFrame(OpRecorder &rec)
             // consults the mark at MAC-handoff time (a dropped payload
             // DMA can also set it later -- see onFault below).
             state.txPoison[seq % state.config.txSlots] =
-                faults->rollTxPoison() ? 1 : 0;
+                faults->rollTxPoison(txVfOf ? txVfOf(seq) : 0) ? 1 : 0;
         }
 
         // Build the frame: metadata writes, DMA programming.
@@ -455,10 +455,11 @@ FwTasks::trySendFrame(OpRecorder &rec)
             auto poison = [this, seq] {
                 state.txPoison[seq % state.config.txSlots] = 1;
             };
+            unsigned vf = txVfOf ? txVfOf(seq) : 0;
             bool ok = dmaRead.pushPair(
                 DmaCommand{DmaCommand::Kind::HostToSdram,
                            info.hostHdrAddr, slot, info.hdrLen, 0,
-                           nullptr, poison},
+                           nullptr, poison, vf},
                 DmaCommand{DmaCommand::Kind::HostToSdram,
                            info.hostPayAddr, slot + info.hdrLen,
                            info.payLen, info.payLen, [this, seq] {
@@ -467,7 +468,7 @@ FwTasks::trySendFrame(OpRecorder &rec)
                                               state.txCmdsCompleted,
                                               ids.dmaRead);
                            },
-                           poison});
+                           poison, vf});
             panic_if(!ok, "[fw send] dma read FIFO overflow despite "
                      "reservation @tick ", dmaRead.curTick());
             state.txCmdSeq[state.txCmdsPushed % state.config.txSlots] =
@@ -507,8 +508,20 @@ FwTasks::processTxDmaReady() const
         unsigned space = used < cap ? static_cast<unsigned>(cap - used)
                                     : 0;
         if (space >= std::min<std::uint64_t>(enq_pending,
-                                             cal::enqueueBatch))
-            return true;
+                                             cal::enqueueBatch)) {
+            if (!commitPeek)
+                return true;
+            // Don't dispatch enqueue-only work the MAC rate gate
+            // would immediately stall on (the head frame's VF bucket
+            // is dry); poisoned heads always pass, being skipped
+            // uncharged.
+            std::uint64_t seq = state.txMacEnqueued;
+            if (faults && state.txPoison[seq % state.config.txSlots])
+                return true;
+            const auto &inf = state.txInfo[seq % state.config.txSlots];
+            if (commitPeek(seq, inf.hdrLen + inf.payLen))
+                return true;
+        }
     }
     // Scan-only work: flagged frames whose order is not yet resolved.
     if (dist(state.txDmaProcessed, state.txOrderedReady) == 0)
@@ -609,10 +622,22 @@ FwTasks::tryProcessTxDma(OpRecorder &rec)
         {dist(state.txOrderedReady, state.txMacEnqueued), mac_space,
          state.config.maxCommitPerPass}));
     ++state.invTxCommitPasses;
-    state.invTxCommitted += count;
     std::uint64_t base = state.txMacEnqueued;
+    unsigned enq = 0;
     for (unsigned i = 0; i < count; ++i) {
         std::uint64_t seq = base + i;
+        // MAC-commit rate gate (vnic runs): charge the owning VF's
+        // enforcement bucket before handing the frame to the MAC.
+        // The pipeline is strictly in order, so a dry bucket stalls
+        // the whole commit here -- that is the isolation contract;
+        // cores re-poll and resume with the lazy refill.  Poisoned
+        // frames never touch the wire and pass uncharged.
+        if (commitAdmit &&
+            !(faults && state.txPoison[seq % state.config.txSlots])) {
+            const auto &inf = state.txInfo[seq % state.config.txSlots];
+            if (!commitAdmit(seq, inf.hdrLen + inf.payLen))
+                break;
+        }
         rec.tag(FuncTag::SendDispatch);
         Addr info_at = state.txInfoBase +
             (seq % state.config.txSlots) * FwState::infoBytes;
@@ -643,7 +668,7 @@ FwTasks::tryProcessTxDma(OpRecorder &rec)
             bool skip = faults &&
                 state.txPoison[seq % state.config.txSlots];
             if (skip) {
-                faults->notePoisonSkip();
+                faults->notePoisonSkip(txVfOf ? txVfOf(seq) : 0);
                 if (onPoisonSkip)
                     onPoisonSkip(seq);
             }
@@ -658,8 +683,10 @@ FwTasks::tryProcessTxDma(OpRecorder &rec)
             panic_if(!ok, "[fw commit] mac tx FIFO overflow despite "
                      "reservation @tick ", dmaRead.curTick());
         });
+        ++enq;
     }
-    state.txMacEnqueued += count;
+    state.invTxCommitted += enq;
+    state.txMacEnqueued += enq;
     rec.tag(FuncTag::SendDispatch);
     rec.store(state.counterAddr(FwState::CtrTxMacEnqueued));
     if (sw)
@@ -951,7 +978,8 @@ FwTasks::tryRecvFrame(OpRecorder &rec)
                     // because the completion still posts.
                     state.spad.storage().storeWord(
                         state.rxComplBase + slot_idx * 16 + 8, 0);
-                }});
+                },
+                rxVfOf ? rxVfOf(seq) : 0});
             panic_if(!ok, "[fw recv] dma write FIFO overflow despite "
                      "reservation @tick ", dmaWrite.curTick());
         });

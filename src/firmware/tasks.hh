@@ -110,6 +110,29 @@ class FwTasks
         onWorkArrival = std::move(fn);
     }
 
+    /**
+     * Wire up the vnic arbitration layer (multi-function runs only,
+     * DESIGN.md §13).  tx_vf_of / rx_vf_of translate a firmware
+     * sequence number into the owning virtual function, for
+     * per-tenant fault attribution and DMA tagging.  commit_peek asks
+     * -- without charging -- whether the head frame could pass the
+     * MAC-commit rate gate; commit_admit charges the owning VF's
+     * enforcement bucket, returning false to stall the in-order
+     * commit until the bucket refills (cores re-poll, so progress
+     * resumes with the lazy refill).
+     */
+    void
+    attachVnic(std::function<unsigned(std::uint64_t)> tx_vf_of,
+               std::function<unsigned(std::uint64_t)> rx_vf_of,
+               std::function<bool(std::uint64_t, unsigned)> commit_peek,
+               std::function<bool(std::uint64_t, unsigned)> commit_admit)
+    {
+        txVfOf = std::move(tx_vf_of);
+        rxVfOf = std::move(rx_vf_of);
+        commitPeek = std::move(commit_peek);
+        commitAdmit = std::move(commit_admit);
+    }
+
   private:
     /// @name Lock helpers
     /// @{
@@ -166,6 +189,13 @@ class FwTasks
     std::function<void()> onWorkArrival;
     FaultInjector *faults = nullptr; //!< null on fault-free runs
     std::function<void(std::uint64_t)> onPoisonSkip;
+    /// @name vnic hooks (all null on single-function runs)
+    /// @{
+    std::function<unsigned(std::uint64_t)> txVfOf;
+    std::function<unsigned(std::uint64_t)> rxVfOf;
+    std::function<bool(std::uint64_t, unsigned)> commitPeek;
+    std::function<bool(std::uint64_t, unsigned)> commitAdmit;
+    /// @}
 };
 
 } // namespace tengig

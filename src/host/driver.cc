@@ -14,6 +14,10 @@ DeviceDriver::DeviceDriver(HostMemory &host_, const Config &cfg)
              "tsoSegments must be in [1, 255]");
     fatal_if(cfg.txFrameSpec && cfg.tsoSegments != 1,
              "mixed-size tx schedules are incompatible with TSO");
+    fatal_if(cfg.txFrameNext && cfg.tsoSegments != 1,
+             "pull-mode tx sources are incompatible with TSO");
+    fatal_if(cfg.txFrameNext && cfg.txFrameSpec,
+             "txFrameNext and txFrameSpec are mutually exclusive");
     fatal_if(cfg.sendRingFrames % cfg.tsoSegments != 0,
              "send ring must hold whole TSO groups");
 
@@ -40,9 +44,18 @@ DeviceDriver::DeviceDriver(HostMemory &host_, const Config &cfg)
     txPostedMeta.assign(cfg.sendRingFrames, {0, 0});
 }
 
-void
+bool
 DeviceDriver::postOneSendFrame()
 {
+    // Pull-mode sources may decline (rate-limited / idle VF); asked
+    // before any state changes so a refusal leaves the ring untouched.
+    std::optional<std::pair<std::uint32_t, unsigned>> next;
+    if (config.txFrameNext) {
+        next = config.txFrameNext(txPosted);
+        if (!next)
+            return false;
+    }
+
     // Posts one send *group*: tsoSegments frames behind a single
     // header-template/payload descriptor pair.
     unsigned segs = config.tsoSegments;
@@ -67,8 +80,8 @@ DeviceDriver::postOneSendFrame()
     // otherwise every frame is flow 0 at the configured fixed size.
     auto hdr_seed = static_cast<std::uint32_t>(seq);
     unsigned payload = config.txPayloadBytes;
-    if (config.txFrameSpec) {
-        auto [flow, bytes] = config.txFrameSpec(seq);
+    if (config.txFrameSpec || next) {
+        auto [flow, bytes] = next ? *next : config.txFrameSpec(seq);
         fatal_if(bytes < 18 || bytes > udpMaxPayloadBytes,
                  "tx schedule payload out of range: ", bytes);
         payload = bytes;
@@ -106,6 +119,7 @@ DeviceDriver::postOneSendFrame()
     host.write(ring_at, &bd0, sizeof(bd0));
     host.write(ring_at + BufferDesc::bytes, &bd1, sizeof(bd1));
     txPosted += segs;
+    return true;
 }
 
 void
@@ -113,12 +127,14 @@ DeviceDriver::postSendFrames(unsigned n)
 {
     fatal_if(n % config.tsoSegments != 0,
              "post count must be whole TSO groups");
+    std::uint64_t before = txPosted;
     for (unsigned i = 0; i < n; i += config.tsoSegments) {
         fatal_if(txPosted - txConsumed >= config.sendRingFrames,
                  "send ring overflow: posting past unconsumed frames");
-        postOneSendFrame();
+        if (!postOneSendFrame())
+            break;
     }
-    if (sendDoorbell && n > 0)
+    if (sendDoorbell && txPosted > before)
         sendDoorbell(txPosted / config.tsoSegments * 2);
 }
 
@@ -142,13 +158,19 @@ DeviceDriver::txConsumedUpTo(std::uint64_t frames)
         return;
     panic_if(frames > txPosted, "NIC consumed frames never posted");
     txConsumed = frames;
-    if (backlogged) {
-        unsigned space = config.sendRingFrames -
-            static_cast<unsigned>(txPosted - txConsumed);
-        space -= space % config.tsoSegments;
-        if (space > 0)
-            postSendFrames(space);
-    }
+    resumeSend();
+}
+
+void
+DeviceDriver::resumeSend()
+{
+    if (!backlogged)
+        return;
+    unsigned space = config.sendRingFrames -
+        static_cast<unsigned>(txPosted - txConsumed);
+    space -= space % config.tsoSegments;
+    if (space > 0)
+        postSendFrames(space);
 }
 
 void

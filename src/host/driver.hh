@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -73,6 +74,18 @@ class DeviceDriver
          */
         std::function<std::pair<std::uint32_t, unsigned>(std::uint64_t)>
             txFrameSpec;
+
+        /**
+         * Pull-mode workload source (src/vnic arbitration): asked for
+         * posted frame number i, returns (flow id, payload bytes) or
+         * nullopt when no frame is eligible right now.  On nullopt the
+         * driver stops posting without error; whoever owns the
+         * scheduler calls resumeSend() once a frame becomes eligible.
+         * Mutually exclusive with txFrameSpec and with TSO.
+         */
+        std::function<std::optional<std::pair<std::uint32_t, unsigned>>(
+            std::uint64_t)>
+            txFrameNext;
     };
 
     DeviceDriver(HostMemory &host, const Config &cfg);
@@ -100,8 +113,14 @@ class DeviceDriver
      */
     void startBackloggedSend();
 
-    /** Post exactly @p n frames (tests / finite workloads). */
+    /** Post exactly @p n frames (tests / finite workloads).  With a
+     *  pull-mode txFrameNext source, posts *up to* @p n, stopping
+     *  early when the source reports nothing eligible. */
     void postSendFrames(unsigned n);
+
+    /** Refill the send ring after a pull-mode source went dry (only
+     *  meaningful in backlogged mode; otherwise a no-op). */
+    void resumeSend();
 
     /** Initial fill of the receive pool. */
     void primeReceivePool();
@@ -187,7 +206,7 @@ class DeviceDriver
     }
 
   private:
-    void postOneSendFrame();
+    bool postOneSendFrame();
     void postRecvBds(unsigned n);
 
     HostMemory &host;

@@ -5,6 +5,22 @@
 
 namespace tengig {
 
+namespace {
+
+/** A frame generator that never generates: vnic runs where no VF has
+ *  receive traffic still own a source for the shared stat plumbing. */
+class IdleGenerator : public FrameGenerator
+{
+  public:
+    void start(Tick) override {}
+    void stop() override {}
+    void setFrameLimit(std::uint64_t) override {}
+    std::uint64_t framesOffered() const override { return 0; }
+    std::uint64_t framesDropped() const override { return 0; }
+};
+
+} // namespace
+
 NicController::NicController(const NicConfig &cfg_) : cfg(cfg_)
 {
     build();
@@ -41,19 +57,68 @@ NicController::build()
              cfg.firmware.slotBytes > cfg.sdramBytes,
              "sdram too small for the configured frame slots");
 
+    // Fault injection and the virtualization layer come first: the
+    // driver's pull-mode tx source and the DMA assists capture them.
+    // vnic runs derive the injector from the per-VF plans (one tenant
+    // per VF); legacy runs keep the single-plan injector.
+    Cycles wdCycles = cfg.faults.watchdogCycles;
+    if (vnicOn()) {
+        fatal_if(cfg.txTraffic.enabled() || cfg.rxTraffic.enabled(),
+                 "vnic runs own the workload: per-VF profiles replace "
+                 "cfg.txTraffic/cfg.rxTraffic");
+        fatal_if(cfg.faults.enabled(),
+                 "vnic runs use per-VF fault plans, not cfg.faults");
+        fatal_if(cfg.idleSleep,
+                 "vnic MAC-commit rate gating relies on polling cores; "
+                 "disable idleSleep");
+        fatal_if(cfg.firmware.tsoSegments != 1,
+                 "vnic runs are incompatible with TSO");
+        std::vector<FaultPlan> plans;
+        bool any_faults = false;
+        for (const VfConfig &vf : cfg.vfs) {
+            plans.push_back(vf.faults);
+            any_faults = any_faults || vf.faults.enabled();
+            if (vf.faults.watchdogCycles > wdCycles)
+                wdCycles = vf.faults.watchdogCycles;
+        }
+        if (any_faults)
+            injector = std::make_unique<FaultInjector>(plans, eq);
+        VnicMux::Config vc;
+        vc.vfs = cfg.vfs;
+        vc.sendRingFrames = cfg.sendRingFrames;
+        vc.rxSlots = cfg.firmware.rxSlots;
+        vnic = std::make_unique<VnicMux>(eq, vc, injector.get());
+    } else if (cfg.faults.enabled()) {
+        injector = std::make_unique<FaultInjector>(cfg.faults, eq);
+    }
+
     DeviceDriver::Config dc;
     dc.sendRingFrames = cfg.sendRingFrames;
     dc.recvPoolBuffers = cfg.recvPoolBuffers;
     dc.txPayloadBytes = cfg.txPayloadBytes;
     dc.tsoSegments = cfg.firmware.tsoSegments;
-    if (cfg.txTraffic.enabled()) {
+    if (vnicOn()) {
+        // The posting arbiter is the frame source: weighted DRR +
+        // per-VF admission buckets decide what enters the shared ring.
+        dc.txFrameNext = [this](std::uint64_t seq) {
+            return vnic->nextTxFrame(seq);
+        };
+    } else if (cfg.txTraffic.enabled()) {
         txSched = std::make_unique<TxSchedule>(cfg.txTraffic);
         dc.txFrameSpec = [this](std::uint64_t i) {
             return txSched->frameSpec(i);
         };
     }
     driver = std::make_unique<DeviceDriver>(*hostMem, dc);
-    if (cfg.rxTraffic.enabled()) {
+    if (vnicOn()) {
+        // Throttled posting resumes when a bucket refills or a lost
+        // tenant doorbell is finally redelivered.
+        vnic->setOnTxEligible([this] { driver->resumeSend(); });
+        driver->onRxDeliver([this](const FrameView &v) {
+            rxFlow.deliver(v);
+            vnic->noteRxDelivered(v);
+        });
+    } else if (cfg.rxTraffic.enabled()) {
         // Per-flow validation replaces the driver's single-stream
         // sequence check in the receive direction.
         driver->onRxDeliver(
@@ -86,12 +151,19 @@ NicController::build()
     dmaWrite = std::make_unique<DmaAssist>(eq, *cpuClk, *spad, *ram,
                                            *hostMem, ids.dmaWrite,
                                            sdDmaWr, cfg.dmaFifoDepth);
-    if (cfg.faults.enabled()) {
-        injector = std::make_unique<FaultInjector>(cfg.faults, eq);
+    if (injector) {
         dmaRead->attachFaults(injector.get());
         dmaWrite->attachFaults(injector.get());
     }
-    if (cfg.txTraffic.enabled()) {
+    if (vnicOn()) {
+        macTx = std::make_unique<MacTx>(
+            eq, *cpuClk, *ram,
+            MacTx::Deliver([this](const FrameView &v) {
+                txFlow.deliver(v);
+                vnic->noteTxDelivered(v);
+            }),
+            sdMacTx, cfg.macTxFifoDepth);
+    } else if (cfg.txTraffic.enabled()) {
         macTx = std::make_unique<MacTx>(
             eq, *cpuClk, *ram,
             MacTx::Deliver(
@@ -113,11 +185,24 @@ NicController::build()
         // validator can expect exactly that hole.
         tasks->attachFaults(injector.get(), [this](std::uint64_t seq) {
             auto [flow, fseq] = driver->txFrameMeta(seq);
-            if (cfg.txTraffic.enabled())
+            if (txFlowsOn())
                 txFlow.noteInjectedDrop(flow, fseq);
             else
                 sink.noteInjectedDrop(fseq);
         });
+    }
+    if (vnicOn()) {
+        // Firmware-side vnic hooks: sequence->VF attribution for fault
+        // and DMA tagging, plus the MAC-commit rate gate.
+        tasks->attachVnic(
+            [this](std::uint64_t s) { return vnic->txVfOf(s); },
+            [this](std::uint64_t s) { return vnic->rxVfOf(s); },
+            [this](std::uint64_t s, unsigned len) {
+                return vnic->commitPeek(s, len);
+            },
+            [this](std::uint64_t s, unsigned len) {
+                return vnic->commitAdmit(s, len);
+            });
     }
 
     macRx = std::make_unique<MacRx>(
@@ -125,7 +210,23 @@ NicController::build()
         [this](unsigned len) { return tasks->allocRxSlot(len); },
         [this](const MacRx::StoredFrame &sf) { tasks->rxFrameStored(sf); });
 
-    if (cfg.rxTraffic.enabled()) {
+    if (vnicOn()) {
+        // One serialized wire carries every tenant's arrivals; the
+        // merged profile reproduces each flow's solo rate exactly
+        // (VnicMux::mergedRxProfile).  With no rx traffic configured
+        // anywhere, an idle generator keeps the plumbing uniform.
+        TrafficProfile merged = VnicMux::mergedRxProfile(cfg.vfs);
+        if (merged.enabled()) {
+            auto engine = std::make_unique<TrafficEngine>(
+                eq, merged, [this](FrameData &&fd) {
+                    return rxArrived(std::move(fd));
+                });
+            rxEngine = engine.get();
+            source = std::move(engine);
+        } else {
+            source = std::make_unique<IdleGenerator>();
+        }
+    } else if (cfg.rxTraffic.enabled()) {
         auto engine = std::make_unique<TrafficEngine>(
             eq, cfg.rxTraffic, [this](FrameData &&fd) {
                 return rxArrived(std::move(fd));
@@ -181,9 +282,9 @@ NicController::build()
         }
     }
 
-    if (cfg.faults.watchdogCycles != 0) {
+    if (wdCycles != 0) {
         fwWatchdog = std::make_unique<FirmwareWatchdog>(
-            eq, cfg.faults.watchdogCycles * cpuClk->period());
+            eq, wdCycles * cpuClk->period());
         for (auto &c : cores) {
             Core *core = c.get();
             fwWatchdog->addCore(FirmwareWatchdog::CoreProbe{
@@ -216,7 +317,10 @@ NicController::ringDoorbell(DoorbellChannel &ch, std::uint64_t value,
     // Doorbell values are monotonic totals, so the latest subsumes any
     // earlier (possibly lost) ring and redelivery is idempotent.
     ch.latest = std::max(ch.latest, value);
-    if (injector && injector->rollDoorbellDrop()) {
+    // vnic runs model doorbell loss on the per-tenant *virtual*
+    // doorbells inside the mux; the shared physical mailbox write
+    // stays reliable so one tenant's storm cannot eat another's ring.
+    if (injector && !vnic && injector->rollDoorbellDrop()) {
         // The mailbox write vanished.  The host driver's timeout
         // notices and retries; an already-armed retry covers this ring
         // too (it delivers `latest`).
@@ -244,11 +348,16 @@ NicController::doorbellRetry(DoorbellChannel &ch, bool send)
 {
     injector->noteDoorbellRetry();
     if (injector->rollDoorbellDrop()) {
-        // Retry lost too: back off exponentially (bounded).
+        // Retry lost too: back off exponentially (bounded), and
+        // account the extra delay beyond the base timeout so the
+        // fault stat tree exposes the recovery cost (doorbell.retries
+        // counts the re-rings, doorbell.backoff_ticks this slack).
         if (ch.backoff < cfg.faults.doorbellBackoffMax)
             ++ch.backoff;
-        ch.retry.scheduleIn(cfg.faults.doorbellRetryTimeout
-                            << ch.backoff);
+        Tick delay = cfg.faults.doorbellRetryTimeout << ch.backoff;
+        injector->noteDoorbellBackoff(
+            delay - cfg.faults.doorbellRetryTimeout);
+        ch.retry.scheduleIn(delay);
         return;
     }
     ch.pending = false;
@@ -269,6 +378,33 @@ NicController::checkLiveness()
 bool
 NicController::rxArrived(FrameData &&fd)
 {
+    if (vnic) {
+        // Multi-tenant ingress: attribute the arrival by its flow id,
+        // police it against the owning VF's rate contract (a policed
+        // frame never reaches the MAC -- a source drop), then let that
+        // tenant's private wire-fault streams damage what remains.
+        std::uint32_t vseq = 0, vflow = 0;
+        peekFrameView(fd.view(), vseq, vflow);
+        unsigned vf = vnic->rxVfOfFlow(vflow);
+        unsigned payload =
+            fd.size() > txHeaderBytes ? fd.size() - txHeaderBytes : 0;
+        if (!vnic->rxAdmit(vf, payload))
+            return false;
+        if (injector)
+            injector->applyWireFault(fd, vf);
+        Tick vnow = eq.curTick();
+        bool ok = macRx->frameArrived(std::move(fd));
+        if (ok) {
+            // Accept order is store order is firmware claim order (the
+            // MAC refuses frames synchronously), so this ring is what
+            // rxVfOf() reads for per-sequence attribution.
+            vnic->noteRxAccepted(vf);
+            rxInFlight[(static_cast<std::uint64_t>(vflow) << 32) |
+                       vseq] = vnow;
+        }
+        return ok;
+    }
+
     // Wire damage happens before the NIC sees anything: a corrupted
     // frame is what arrives, and the MAC's validation decides its fate.
     if (injector)
@@ -366,8 +502,8 @@ NicController::registerAllStats()
                                    source->framesDropped());
     });
 
-    bool tx_flows = cfg.txTraffic.enabled();
-    bool rx_flows = cfg.rxTraffic.enabled();
+    bool tx_flows = txFlowsOn();
+    bool rx_flows = rxFlowsOn();
     obs::StatGroup &check = statRoot.group("check");
     check.derived("orderErrors", [this, tx_flows, rx_flows] {
         std::uint64_t n =
@@ -433,12 +569,14 @@ NicController::registerAllStats()
         }
     }
 
-    if (cfg.faults.enabled()) {
+    if (vnic)
+        vnic->registerStats(statRoot.group("vf"));
+
+    if (injector) {
         // Conditional like the "traffic" group: fault-free runs keep
         // the stat tree (and the determinism guard) untouched.
         obs::StatGroup &f = statRoot.group("fault");
-        if (injector)
-            injector->registerStats(f);
+        injector->registerStats(f);
         macTx->registerFaultStats(f.group("macTx"));
         macRx->registerFaultStats(f.group("macRx"));
         if (fwWatchdog)
@@ -449,8 +587,8 @@ NicController::registerAllStats()
         }, "zero-length completions the driver recycled");
         f.derived("txInjectedDropsSeen", [this] {
             return static_cast<double>(
-                cfg.txTraffic.enabled() ? txFlow.injectedDrops()
-                                        : sink.injectedDrops());
+                txFlowsOn() ? txFlow.injectedDrops()
+                            : sink.injectedDrops());
         }, "wire-side sequence holes matched to poison skips");
         f.derived("dmaFifoFullRejects", [this] {
             return static_cast<double>(dmaRead->fifoFullRejects() +
@@ -545,22 +683,22 @@ NicController::resetAllStats()
 std::uint64_t
 NicController::txFramesNow() const
 {
-    return cfg.txTraffic.enabled() ? txFlow.framesReceived()
-                                   : sink.framesReceived();
+    return txFlowsOn() ? txFlow.framesReceived()
+                       : sink.framesReceived();
 }
 
 std::uint64_t
 NicController::txPayloadNow() const
 {
-    return cfg.txTraffic.enabled() ? txFlow.payloadBytesReceived()
-                                   : sink.payloadBytesReceived();
+    return txFlowsOn() ? txFlow.payloadBytesReceived()
+                       : sink.payloadBytesReceived();
 }
 
 std::uint64_t
 NicController::rxPayloadNow() const
 {
-    return cfg.rxTraffic.enabled() ? rxFlow.payloadBytesReceived()
-                                   : driver->rxPayloadBytes();
+    return rxFlowsOn() ? rxFlow.payloadBytesReceived()
+                       : driver->rxPayloadBytes();
 }
 
 NicResults
@@ -587,8 +725,8 @@ NicController::collect(Tick measured, std::uint64_t tx0_frames,
     r.totalUdpGbps = r.txUdpGbps + r.rxUdpGbps;
     r.rxDropped = source->framesDropped() + macRx->framesDropped();
 
-    bool tx_flows = cfg.txTraffic.enabled();
-    bool rx_flows = cfg.rxTraffic.enabled();
+    bool tx_flows = txFlowsOn();
+    bool rx_flows = rxFlowsOn();
     std::uint64_t tx_integ = tx_flows ? txFlow.integrityErrors()
                                       : sink.integrityErrors();
     std::uint64_t tx_gaps = tx_flows ? txFlow.gapErrors()

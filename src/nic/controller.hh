@@ -31,6 +31,7 @@
 #include "traffic/flow_sink.hh"
 #include "traffic/trace.hh"
 #include "traffic/traffic_engine.hh"
+#include "vnic/vnic.hh"
 
 namespace tengig {
 
@@ -167,8 +168,12 @@ class NicController
 
     FrameGenerator &frameGenerator() { return *source; }
 
-    /** Fault injector; null unless cfg.faults.enabled(). */
+    /** Fault injector; null unless cfg.faults.enabled() or some VF
+     *  carries an enabled fault plan. */
     FaultInjector *faultInjector() { return injector.get(); }
+
+    /** Virtual-function multiplexer; null unless cfg.vfs is set. */
+    VnicMux *vnicMux() { return vnic.get(); }
 
     /** Firmware watchdog; null unless cfg.faults.watchdogCycles set. */
     FirmwareWatchdog *firmwareWatchdog() { return fwWatchdog.get(); }
@@ -219,6 +224,21 @@ class NicController
     std::uint64_t txFramesNow() const;
     std::uint64_t txPayloadNow() const;
     std::uint64_t rxPayloadNow() const;
+    /// @}
+
+    /// @name Validation-mode predicates
+    /// vnic runs use the per-flow sinks in both directions even though
+    /// the single-profile knobs stay empty.
+    /// @{
+    bool vnicOn() const { return !cfg.vfs.empty(); }
+    bool txFlowsOn() const
+    {
+        return cfg.txTraffic.enabled() || vnicOn();
+    }
+    bool rxFlowsOn() const
+    {
+        return cfg.rxTraffic.enabled() || vnicOn();
+    }
     /// @}
 
     NicConfig cfg;
@@ -274,6 +294,7 @@ class NicController
     /// @name Fault injection and graceful degradation (src/fault)
     /// @{
     std::unique_ptr<FaultInjector> injector;   //!< null when disabled
+    std::unique_ptr<VnicMux> vnic;             //!< null on legacy runs
     std::unique_ptr<FirmwareWatchdog> fwWatchdog;
     LivenessMonitor liveness;
     DoorbellChannel sendDb;

@@ -6,10 +6,13 @@
 #ifndef TENGIG_NIC_NIC_CONFIG_HH
 #define TENGIG_NIC_NIC_CONFIG_HH
 
+#include <vector>
+
 #include "fault/fault.hh"
 #include "firmware/fw_state.hh"
 #include "net/frame.hh"
 #include "traffic/traffic_profile.hh"
+#include "vnic/vf_config.hh"
 
 namespace tengig {
 
@@ -78,6 +81,19 @@ struct NicConfig
     TrafficProfile rxTraffic;
     TrafficProfile txTraffic;
     /// @}
+
+    /**
+     * SR-IOV-style virtualization (src/vnic, DESIGN.md §13).  Each
+     * entry is one virtual function with its own traffic profiles,
+     * DRR weight, rate contracts, and tenant-private fault plan; the
+     * VnicMux arbitrates them over the shared datapath.  A vnic run
+     * owns the workload and fault configuration, so rxTraffic /
+     * txTraffic / faults must stay at their defaults.  Empty (the
+     * default) means the legacy single-function NIC with every vnic
+     * hook structurally absent and runs bit-identical to a build
+     * without the subsystem.
+     */
+    std::vector<VfConfig> vfs;
 };
 
 } // namespace tengig

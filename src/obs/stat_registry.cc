@@ -5,13 +5,28 @@
 namespace tengig {
 namespace obs {
 
+namespace {
+
+/** Quoted registrant description for collision diagnostics. */
+std::string
+registrant(const std::string &desc)
+{
+    return desc.empty() ? std::string("<no description>")
+                        : "\"" + desc + "\"";
+}
+
+} // namespace
+
 StatGroup &
 StatGroup::group(const std::string &name)
 {
     fatal_if(name.empty() || name.find('.') != std::string::npos,
              "stat group name '", name, "' must be one path segment");
-    fatal_if(entries.count(name), "stat group '", name,
-             "' collides with a registered stat of the same name");
+    if (auto it = entries.find(name); it != entries.end()) {
+        fatal("stat group '", name, "' collides with a stat already "
+              "registered at that path by ",
+              registrant(it->second.desc));
+    }
     auto it = children.find(name);
     if (it == children.end())
         it = children.emplace(name, std::make_unique<StatGroup>()).first;
@@ -26,21 +41,28 @@ StatGroup::findGroup(const std::string &name) const
 }
 
 void
-StatGroup::checkFresh(const std::string &name) const
+StatGroup::checkFresh(const std::string &name,
+                      const std::string &new_desc) const
 {
     fatal_if(name.empty() || name.find('.') != std::string::npos,
              "stat name '", name, "' must be one path segment");
-    fatal_if(entries.count(name), "stat '", name,
-             "' registered twice in the same group");
+    if (auto it = entries.find(name); it != entries.end()) {
+        // Name both registrants: a silent shadow here would make one
+        // tenant's vf.<id>.* subtree report another's numbers.
+        fatal("stat '", name, "' registered twice in the same group: "
+              "already registered by ", registrant(it->second.desc),
+              ", now re-registered by ", registrant(new_desc));
+    }
     fatal_if(children.count(name), "stat '", name,
-             "' collides with a child group of the same name");
+             "' collides with a child group of the same name (new "
+             "registrant: ", registrant(new_desc), ")");
 }
 
 void
 StatGroup::add(const std::string &name, const stats::Counter &c,
                std::string desc)
 {
-    checkFresh(name);
+    checkFresh(name, desc);
     Entry e;
     e.kind = Kind::CounterK;
     e.counter = &c;
@@ -52,7 +74,7 @@ void
 StatGroup::add(const std::string &name, const stats::Average &a,
                std::string desc)
 {
-    checkFresh(name);
+    checkFresh(name, desc);
     Entry e;
     e.kind = Kind::AverageK;
     e.average = &a;
@@ -64,7 +86,7 @@ void
 StatGroup::add(const std::string &name, const stats::Histogram &h,
                std::string desc)
 {
-    checkFresh(name);
+    checkFresh(name, desc);
     Entry e;
     e.kind = Kind::HistogramK;
     e.histogram = &h;
@@ -76,7 +98,7 @@ void
 StatGroup::derived(const std::string &name, std::function<double()> fn,
                    std::string desc)
 {
-    checkFresh(name);
+    checkFresh(name, desc);
     fatal_if(!fn, "derived stat '", name, "' with a null closure");
     Entry e;
     e.kind = Kind::DerivedK;

@@ -100,7 +100,9 @@ class StatGroup
     const Entry *resolve(const std::string &path,
                          const StatGroup **owner = nullptr) const;
     const Entry &resolveChecked(const std::string &path) const;
-    void checkFresh(const std::string &name) const;
+    /** Fatal (naming both registrants) unless @p name is unused. */
+    void checkFresh(const std::string &name,
+                    const std::string &new_desc) const;
     void collect(const std::string &prefix,
                  std::vector<std::string> &out) const;
 

@@ -1,0 +1,135 @@
+#include "vnic/arbiter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tengig {
+
+// One tick is 1 ps (byteTime10G == 800 ticks/byte at 10 Gb/s), so
+// 1 Gb/s == 1/8000 bytes per tick == 125 micro-bytes per tick.
+TokenBucket::TokenBucket(double rate_gbps, unsigned burst_bytes)
+{
+    fatal_if(rate_gbps < 0.0, "token bucket rate must be >= 0");
+    if (rate_gbps == 0.0)
+        return;
+    microPerTick =
+        static_cast<std::uint64_t>(std::llround(rate_gbps * 125.0));
+    fatal_if(microPerTick == 0, "token bucket rate too small to meter");
+    capMicro = static_cast<std::uint64_t>(burst_bytes) * microPerByte;
+    tokensMicro = capMicro; // start full: the first burst is free
+}
+
+std::uint64_t
+TokenBucket::balanceAt(Tick now) const
+{
+    // Refill is a pure function of elapsed ticks; the cap makes long
+    // idle stretches safe (no unbounded credit).
+    std::uint64_t earned = (now - lastRefill) * microPerTick;
+    return std::min(capMicro, tokensMicro + earned);
+}
+
+bool
+TokenBucket::tryConsume(Tick now, unsigned bytes)
+{
+    if (unlimited())
+        return true;
+    std::uint64_t need = static_cast<std::uint64_t>(bytes) * microPerByte;
+    std::uint64_t bal = balanceAt(now);
+    tokensMicro = bal;
+    lastRefill = now;
+    if (bal < need)
+        return false;
+    tokensMicro = bal - need;
+    return true;
+}
+
+bool
+TokenBucket::eligible(Tick now, unsigned bytes) const
+{
+    if (unlimited())
+        return true;
+    return balanceAt(now) >=
+           static_cast<std::uint64_t>(bytes) * microPerByte;
+}
+
+Tick
+TokenBucket::eligibleAt(Tick now, unsigned bytes) const
+{
+    if (unlimited())
+        return now;
+    std::uint64_t need = static_cast<std::uint64_t>(bytes) * microPerByte;
+    std::uint64_t bal = balanceAt(now);
+    if (bal >= need)
+        return now;
+    std::uint64_t deficit = need - bal;
+    return now + (deficit + microPerTick - 1) / microPerTick;
+}
+
+std::uint64_t
+TokenBucket::tokensAt(Tick now) const
+{
+    return unlimited() ? ~0ull : balanceAt(now) / microPerByte;
+}
+
+DrrScheduler::DrrScheduler(const std::vector<double> &weights,
+                           unsigned quantum_bytes)
+{
+    fatal_if(weights.empty(), "drr needs at least one vf");
+    fatal_if(quantum_bytes == 0, "drr quantum must be nonzero");
+    double wmin = *std::min_element(weights.begin(), weights.end());
+    fatal_if(wmin <= 0.0, "drr weights must be positive");
+    for (double w : weights) {
+        quanta.push_back(std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   std::llround(quantum_bytes * w / wmin))));
+    }
+    deficits.assign(quanta.size(), 0);
+}
+
+int
+DrrScheduler::pick(const std::function<bool(unsigned)> &backlogged,
+                   const std::function<bool(unsigned)> &eligible,
+                   const std::function<unsigned(unsigned)> &head_bytes)
+{
+    const unsigned n = static_cast<unsigned>(quanta.size());
+    unsigned scanned = 0; //!< positions visited in the current sweep
+    unsigned live = 0;    //!< backlogged && eligible VFs seen in it
+    std::uint64_t guard = 0;
+    while (true) {
+        panic_if(++guard > (1ull << 22),
+                 "[vnic] drr failed to converge (quantum too small "
+                 "for the offered frame sizes?)");
+        unsigned vf = cursor;
+        if (!backlogged(vf)) {
+            // Idle VFs forfeit their deficit: DRR fairness is over
+            // backlogged periods only (no banked credit).
+            deficits[vf] = 0;
+        } else if (eligible(vf)) {
+            ++live;
+            if (fresh)
+                deficits[vf] += quanta[vf];
+            unsigned need = head_bytes(vf);
+            if (deficits[vf] >= need) {
+                deficits[vf] -= need;
+                // Keep serving this VF (no fresh quantum) until its
+                // deficit runs out or it goes idle.
+                fresh = false;
+                return static_cast<int>(vf);
+            }
+        }
+        // Ineligible (rate-throttled) VFs are skipped but keep their
+        // deficit for when their bucket refills.
+        cursor = (cursor + 1) % n;
+        fresh = true;
+        if (++scanned == n) {
+            if (live == 0)
+                return -1;
+            scanned = 0;
+            live = 0;
+        }
+    }
+}
+
+} // namespace tengig

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * QoS arbitration primitives for the virtual-function layer.
+ *
+ * TokenBucket is a deterministic integer-arithmetic rate limiter:
+ * tokens are micro-bytes refilled lazily as a pure function of the
+ * current tick, so two runs that consult the bucket at the same ticks
+ * see the same decisions and an unconsulted bucket leaves no trace.
+ *
+ * DrrScheduler is a deficit-round-robin scheduler over N virtual
+ * functions: each round a backlogged VF earns a quantum proportional
+ * to its weight, serves frames while its deficit covers their wire
+ * bytes, and carries any remainder to the next round.  Idle VFs
+ * forfeit their deficit (standard DRR), so the scheduler is
+ * work-conserving and converges to weighted fair shares under
+ * persistent backlog.
+ *
+ * Both are datapath-free and unit-tested in isolation
+ * (tests/test_vnic.cc); the VnicMux composes them at the two shared
+ * choke points (DMA-assist burst admission, MAC TX commit).
+ */
+
+#ifndef TENGIG_VNIC_ARBITER_HH
+#define TENGIG_VNIC_ARBITER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tengig {
+
+/**
+ * Deterministic token-bucket rate limiter.  A default-constructed or
+ * zero-rate bucket is uncontracted: always eligible, never charged.
+ */
+class TokenBucket
+{
+  public:
+    TokenBucket() = default;
+
+    /**
+     * @param rate_gbps Sustained rate in Gb/s (payload perspective is
+     *        the caller's choice -- charge whatever bytes you meter).
+     * @param burst_bytes Bucket depth: the largest burst admitted at
+     *        once after sufficient idle time.  Also the initial fill.
+     */
+    TokenBucket(double rate_gbps, unsigned burst_bytes);
+
+    bool unlimited() const { return microPerTick == 0; }
+
+    /** Refill to @p now, then consume @p bytes if covered.
+     *  @return true when charged (always, for an unlimited bucket). */
+    bool tryConsume(Tick now, unsigned bytes);
+
+    /** Refill-free peek: would tryConsume(@p now, @p bytes) succeed? */
+    bool eligible(Tick now, unsigned bytes) const;
+
+    /** Earliest tick at which @p bytes will be covered (>= @p now). */
+    Tick eligibleAt(Tick now, unsigned bytes) const;
+
+    /** Current whole-byte balance after a refill to @p now. */
+    std::uint64_t tokensAt(Tick now) const;
+
+  private:
+    /** Token balance at @p now, in micro-bytes, capped at the burst. */
+    std::uint64_t balanceAt(Tick now) const;
+
+    static constexpr std::uint64_t microPerByte = 1000000;
+
+    std::uint64_t microPerTick = 0; //!< 0 = uncontracted
+    std::uint64_t capMicro = 0;
+    std::uint64_t tokensMicro = 0;
+    Tick lastRefill = 0;
+};
+
+/**
+ * Deficit round robin over a fixed set of virtual functions.
+ */
+class DrrScheduler
+{
+  public:
+    /**
+     * @param weights One positive weight per VF.
+     * @param quantum_bytes Per-round byte quantum for the *smallest*
+     *        weight; other VFs scale proportionally.  A quantum below
+     *        the frame size still works -- the deficit carries over
+     *        and the VF is served every few rounds.
+     */
+    explicit DrrScheduler(const std::vector<double> &weights,
+                          unsigned quantum_bytes = 2048);
+
+    /**
+     * Pick the next VF to serve.
+     *
+     * @param backlogged True when the VF has a frame waiting.  A
+     *        non-backlogged VF forfeits its accumulated deficit.
+     * @param eligible True when the VF may send *now* (e.g. its rate
+     *        bucket covers the head frame).  An ineligible backlogged
+     *        VF is skipped but keeps its deficit.
+     * @param head_bytes Wire bytes of the VF's head frame.
+     * @return VF index served (its deficit already charged), or -1
+     *         when no backlogged VF is eligible.
+     */
+    int pick(const std::function<bool(unsigned)> &backlogged,
+             const std::function<bool(unsigned)> &eligible,
+             const std::function<unsigned(unsigned)> &head_bytes);
+
+    std::size_t size() const { return quanta.size(); }
+    std::uint64_t deficit(unsigned vf) const { return deficits[vf]; }
+    std::uint64_t quantum(unsigned vf) const { return quanta[vf]; }
+
+  private:
+    std::vector<std::uint64_t> quanta;
+    std::vector<std::uint64_t> deficits;
+    unsigned cursor = 0;
+    /** The cursor advanced since the last quantum top-up: the next
+     *  visit to a backlogged VF earns a fresh quantum. */
+    bool fresh = true;
+};
+
+} // namespace tengig
+
+#endif // TENGIG_VNIC_ARBITER_HH

@@ -403,6 +403,14 @@ TEST(NicFaults, LostDoorbellIsRecoveredByTimeoutRetryWithBackoff)
     ASSERT_NE(inj, nullptr);
     EXPECT_EQ(inj->doorbellsLost(), 2u);
     EXPECT_EQ(inj->doorbellRetriesTaken(), 2u);
+    // The second retry backed off to 2x the base timeout; the slack
+    // beyond the base (exactly one extra timeout) is accounted.
+    EXPECT_EQ(inj->doorbellBackoffTicks(), cfg.faults.doorbellRetryTimeout);
+    // And the recovery cost is exported on the fault stat tree.
+    EXPECT_DOUBLE_EQ(nic.statTree().value("fault.doorbell.retries"),
+                     static_cast<double>(inj->doorbellRetriesTaken()));
+    EXPECT_DOUBLE_EQ(nic.statTree().value("fault.doorbell.backoff_ticks"),
+                     static_cast<double>(inj->doorbellBackoffTicks()));
     EXPECT_EQ(nic.deviceDriver().txFramesConsumed(), 200u);
     EXPECT_EQ(nic.frameSink().framesReceived(), 200u);
     EXPECT_EQ(nic.frameSink().orderErrors(), 0u);

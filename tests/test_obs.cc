@@ -168,6 +168,37 @@ TEST(StatRegistry, DuplicateOrDottedRegistrationIsFatal)
     EXPECT_THROW(root.add("mac", c), FatalError);
 }
 
+TEST(StatRegistry, DuplicateRegistrationNamesBothRegistrants)
+{
+    StatGroup root;
+    stats::Counter first, second;
+    root.add("frames", first, "MAC frames committed");
+    try {
+        root.add("frames", second, "per-VF frames committed");
+        FAIL() << "duplicate registration must be fatal";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        // The diagnostic must point at *both* colliding registrants:
+        // a silent shadow would let one tenant's subtree report
+        // another's numbers.
+        EXPECT_NE(msg.find("frames"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("MAC frames committed"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("per-VF frames committed"), std::string::npos)
+            << msg;
+    }
+    // Undescribed registrants are still identified.
+    try {
+        root.add("frames", second);
+        FAIL() << "duplicate registration must be fatal";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("<no description>"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("MAC frames committed"), std::string::npos)
+            << msg;
+    }
+}
+
 TEST(StatRegistry, DumpFlattensTreeWithDottedNames)
 {
     StatGroup root;

@@ -10,6 +10,9 @@
 #   tools/check.sh --faults   # build + run the fault-storm soak (the
 #                             # graceful-degradation contracts; nonzero
 #                             # exit on any violation)
+#   tools/check.sh --vf       # build + run the VF isolation soak (the
+#                             # vnic blast-radius contracts; nonzero
+#                             # exit on any violation)
 #   TENGIG_SANITIZE=ON tools/check.sh
 #                             # ASan+UBSan build in a separate tree
 #
@@ -90,6 +93,16 @@ if [ "${1:-}" = "--faults" ]; then
     cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize"
     cmake --build "$build" -j"$(nproc)" --target fault_storm
     exec "$build/bench/fault_storm" "--json=$build/BENCH_fault_storm.json"
+fi
+
+if [ "${1:-}" = "--vf" ]; then
+    # VF isolation soak: the bench asserts the blast-radius contracts
+    # (victim >= 95% of solo under a neighbor storm, weighted shares
+    # within 5%, per-tenant fault accounting exact) and exits nonzero
+    # on any violation.
+    cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize"
+    cmake --build "$build" -j"$(nproc)" --target vf_isolation
+    exec "$build/bench/vf_isolation" "--json=$build/BENCH_vf_isolation.json"
 fi
 
 ctest_args="--output-on-failure -j$(nproc)"
