@@ -1,0 +1,46 @@
+#include "op_cache.hh"
+
+#include <algorithm>
+
+#include "obs/stat_registry.hh"
+#include "sim/logging.hh"
+
+namespace tengig {
+
+void
+OpCache::verifyAgainst(const Entry &cached, const OpList &fresh,
+                       const char *where) const
+{
+    // Field-wise element compare: MicroOp carries padding, so a raw
+    // memcmp would flag indeterminate padding bytes as divergence.
+    bool same = cached.ops.size() == fresh.ops.size() &&
+        cached.idlePoll == fresh.idlePoll &&
+        cached.actionCount == fresh.actions.size() &&
+        std::equal(cached.ops.begin(), cached.ops.end(),
+                   fresh.ops.begin());
+    panic_if(!same, "[opcache] verify divergence in ", where,
+             ": cached ", cached.ops.size(), " ops / ",
+             cached.actionCount, " actions, fresh ", fresh.ops.size(),
+             " ops / ", fresh.actions.size(),
+             " actions -- a stream-affecting input is missing from the "
+             "path key");
+}
+
+void
+OpCache::registerStats(obs::StatGroup &g) const
+{
+    g.add("hits", nHits, "path-key lookups served from the cache");
+    g.add("misses", nMisses, "path-key lookups that recorded live");
+    g.add("invalidates", nInvalidates,
+          "whole-cache flushes from key churn");
+    g.add("bypasses", nBypasses,
+          "uncacheable dispatches (vnic TX commit gate)");
+    g.derived("hitRate", [this] {
+        double total = static_cast<double>(nHits.value()) +
+            static_cast<double>(nMisses.value());
+        return total > 0 ? static_cast<double>(nHits.value()) / total
+                         : 0.0;
+    }, "hits / (hits + misses)");
+}
+
+} // namespace tengig

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Cached-OpList replay for the firmware dispatchers (DESIGN.md §14).
+ *
+ * Steady-state traffic makes the dispatchers re-emit structurally
+ * identical micro-op streams millions of times: the stream a handler
+ * records is a pure function of a small set of control inputs (which
+ * check fired, lock outcomes, bundle size, ring offsets, flag-word
+ * contents around the commit pointer).  The op-cache folds exactly
+ * those inputs into a 64-bit path key *before* the handler runs; on a
+ * hit the dispatcher copies the cached POD op stream into the outgoing
+ * OpList and re-runs the handler with a muted recorder, so every
+ * functional state transition (counter claims, lock flips, scratchpad
+ * flag words, per-invocation action closures) still happens while the
+ * emission work -- the dominant host cost -- is skipped.
+ *
+ * Keying contract: a handler's path-key function must fold every value
+ * that can change its emitted stream and nothing that is per-run
+ * static.  Anything the key cannot see (the vnic TX commit gate, whose
+ * admit decisions charge rate buckets mid-emission) must instead mark
+ * the path uncacheable via PathKey::cacheable -- a bypass, counted but
+ * never inserted.  `opCacheVerify` re-records every hit live and
+ * byte-compares against the cached stream, which is how the golden
+ * equivalence suite pins the contract down.
+ */
+
+#ifndef TENGIG_FIRMWARE_OP_CACHE_HH
+#define TENGIG_FIRMWARE_OP_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "proc/micro_op.hh"
+#include "sim/stats.hh"
+
+namespace tengig {
+
+namespace obs { class StatGroup; }
+
+class OpCache
+{
+  public:
+    struct Entry
+    {
+        std::vector<MicroOp> ops;
+        std::uint32_t actionCount = 0;
+        bool idlePoll = false;
+    };
+
+    explicit OpCache(bool verify_mode = false) : verifyMode(verify_mode)
+    {}
+
+    /** Starting key for a keyed path; @p salt distinguishes callers. */
+    static std::uint64_t
+    seed(std::uint64_t salt)
+    {
+        return mix(0x9e3779b97f4a7c15ull, salt);
+    }
+
+    /** Fold one control input into the key (splitmix64 finalizer). */
+    static std::uint64_t
+    mix(std::uint64_t h, std::uint64_t v)
+    {
+        std::uint64_t x = h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) +
+                               (h >> 2));
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        return x;
+    }
+
+    /** nullptr on miss.  The pointer is valid until the next insert. */
+    const Entry *
+    lookup(std::uint64_t key)
+    {
+        auto it = map.find(key);
+        if (it == map.end()) {
+            ++nMisses;
+            return nullptr;
+        }
+        ++nHits;
+        return &it->second;
+    }
+
+    void
+    insert(std::uint64_t key, const OpList &l)
+    {
+        if (map.size() >= maxEntries) {
+            // Pathological key churn: drop everything rather than grow
+            // without bound.  Counted so the stats make it visible.
+            map.clear();
+            ++nInvalidates;
+        }
+        Entry &e = map[key];
+        e.ops = l.ops;
+        e.actionCount = static_cast<std::uint32_t>(l.actions.size());
+        e.idlePoll = l.idlePoll;
+    }
+
+    /** An uncacheable path was taken (e.g. vnic TX commit gate). */
+    void noteBypass() { ++nBypasses; }
+
+    bool verify() const { return verifyMode; }
+
+    /**
+     * Verify-mode check: @p fresh was recorded live for a key that hit
+     * @p cached.  Any divergence is a keying bug: something that
+     * changes the emitted stream was not folded into the path key.
+     */
+    void verifyAgainst(const Entry &cached, const OpList &fresh,
+                       const char *where) const;
+
+    std::uint64_t hits() const { return nHits.value(); }
+    std::uint64_t misses() const { return nMisses.value(); }
+
+    void registerStats(obs::StatGroup &g) const;
+
+  private:
+    /**
+     * The steady-state working set scales with ring positions (ring
+     * offsets appear in cached addresses): ~7 rotations x 128 slots x
+     * a few bundle sizes per handler.  32k entries holds it with room;
+     * ~100 ops x 12 B each keeps worst-case memory in the tens of MB.
+     */
+    static constexpr std::size_t maxEntries = 32768;
+
+    std::unordered_map<std::uint64_t, Entry> map;
+    bool verifyMode;
+
+    stats::Counter nHits;
+    stats::Counter nMisses;
+    stats::Counter nInvalidates;
+    stats::Counter nBypasses;
+};
+
+} // namespace tengig
+
+#endif // TENGIG_FIRMWARE_OP_CACHE_HH

@@ -22,6 +22,34 @@ patternHash(const std::uint8_t *data, unsigned len)
 
 constexpr unsigned headerWords = 4; // seq, len, hash, pad
 
+/**
+ * Composite LCG jump-ahead constants: lane k advances k+1 steps in one
+ * multiply-add (A[k] = a1^(k+1), C[k] folds the accumulated additive
+ * term).  Sixteen independent lanes give the compiler a full SIMD
+ * register of 32-bit multiplies per iteration.
+ */
+struct LcgJump
+{
+    std::uint32_t a[16];
+    std::uint32_t c[16];
+};
+
+constexpr LcgJump
+makeLcgJump()
+{
+    LcgJump j{};
+    std::uint32_t a = 1664525u, c = 1013904223u;
+    for (unsigned k = 0; k < 16; ++k) {
+        j.a[k] = a;
+        j.c[k] = c;
+        a = 1664525u * a;
+        c = 1664525u * c + 1013904223u;
+    }
+    return j;
+}
+
+constexpr LcgJump lcgJump = makeLcgJump();
+
 } // namespace
 
 void
@@ -35,21 +63,29 @@ fillPayload(std::uint8_t *payload, unsigned len, std::uint32_t seq,
     std::uint8_t *pattern = payload + headerWords * 4;
     // Deterministic pattern derived from the flow and sequence number:
     // an LCG (a = 1664525, c = 1013904223) emitting the top byte per
-    // step.  The recurrence is strictly sequential, so jump ahead four
-    // steps at a time with precomputed composite constants -- the four
-    // multiplies per iteration are independent and pipeline, and the
-    // byte stream is identical to the one-step loop.
+    // step.  The recurrence is strictly sequential, but precomputed
+    // composite constants let each lane jump ahead independently: the
+    // 16-lane body is one SIMD-width batch of independent multiply-adds
+    // per iteration (auto-vectorized), and the byte stream is identical
+    // to the one-step loop.
     constexpr std::uint32_t a1 = 1664525u, c1 = 1013904223u;
-    constexpr std::uint32_t a2 = a1 * a1, c2 = c1 * (a1 + 1u);
-    constexpr std::uint32_t a3 = a1 * a2, c3 = c1 * (a2 + a1 + 1u);
-    constexpr std::uint32_t a4 = a1 * a3, c4 = c1 * (a3 + a2 + a1 + 1u);
     std::uint32_t x = (seq + flow * 40503u) * 2654435761u + 12345u;
     unsigned i = 0;
+    for (; i + 16 <= pattern_len; i += 16) {
+        for (unsigned k = 0; k < 16; ++k) {
+            pattern[i + k] = static_cast<std::uint8_t>(
+                (lcgJump.a[k] * x + lcgJump.c[k]) >> 24);
+        }
+        x = lcgJump.a[15] * x + lcgJump.c[15];
+    }
     for (; i + 4 <= pattern_len; i += 4) {
-        pattern[i] = static_cast<std::uint8_t>((a1 * x + c1) >> 24);
-        pattern[i + 1] = static_cast<std::uint8_t>((a2 * x + c2) >> 24);
-        pattern[i + 2] = static_cast<std::uint8_t>((a3 * x + c3) >> 24);
-        std::uint32_t next = a4 * x + c4;
+        pattern[i] = static_cast<std::uint8_t>(
+            (lcgJump.a[0] * x + lcgJump.c[0]) >> 24);
+        pattern[i + 1] = static_cast<std::uint8_t>(
+            (lcgJump.a[1] * x + lcgJump.c[1]) >> 24);
+        pattern[i + 2] = static_cast<std::uint8_t>(
+            (lcgJump.a[2] * x + lcgJump.c[2]) >> 24);
+        std::uint32_t next = lcgJump.a[3] * x + lcgJump.c[3];
         pattern[i + 3] = static_cast<std::uint8_t>(next >> 24);
         x = next;
     }

@@ -254,10 +254,14 @@ NicController::build()
 
     fatal_if(cfg.taskLevelFirmware && cfg.firmware.idealMode,
              "task-level firmware has no ideal mode");
+    if (cfg.opCache)
+        opCache = std::make_unique<OpCache>(cfg.opCacheVerify);
     if (cfg.taskLevelFirmware)
-        dispatcher = std::make_unique<EventRegisterDispatcher>(*tasks, P);
+        dispatcher = std::make_unique<EventRegisterDispatcher>(
+            *tasks, P, 4, opCache.get());
     else
-        dispatcher = std::make_unique<FrameLevelDispatcher>(*tasks);
+        dispatcher = std::make_unique<FrameLevelDispatcher>(
+            *tasks, opCache.get());
 
     CodeLayout layout = CodeLayout::uniform(cal::codeRegionBytes);
     for (unsigned i = 0; i < P; ++i) {
@@ -466,6 +470,13 @@ NicController::registerAllStats()
         lk.derived("spins", [this, l] {
             return static_cast<double>(fwState->lockSpins[l]);
         });
+    }
+
+    if (opCache) {
+        // Registered only when enabled so cache-on/off stat trees
+        // differ exactly by this subtree (the equivalence suite strips
+        // it before comparing).
+        opCache->registerStats(statRoot.group("opcache"));
     }
 
     spad->registerStats(statRoot.group("spad"));

@@ -17,6 +17,7 @@
 #include "fault/fault.hh"
 #include "fault/watchdog.hh"
 #include "firmware/frame_level.hh"
+#include "firmware/op_cache.hh"
 #include "firmware/tasks.hh"
 #include "host/driver.hh"
 #include "mem/host_memory.hh"
@@ -267,6 +268,7 @@ class NicController
 
     std::unique_ptr<FwState> fwState;
     std::unique_ptr<FwTasks> tasks;
+    std::unique_ptr<OpCache> opCache; //!< null when cfg.opCache off
     std::unique_ptr<Dispatcher> dispatcher;
 
     FirmwareProfile profile;

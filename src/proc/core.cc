@@ -137,6 +137,7 @@ Core::nextInvocation()
         return;
     dispatcher.next(coreId, current);
     opIdx = 0;
+    actIdx = 0;
     if (current.idlePoll) {
         ++_stats.idlePolls;
         if (idleSleepEnabled)
@@ -231,8 +232,9 @@ Core::beginOp()
 
     switch (op.kind) {
       case OpKind::Action:
-        if (op.action)
-            op.action();
+        // Closures live out-of-line and are consumed in stream order;
+        // the recorder only emits Action ops for non-empty closures.
+        current.actions[actIdx++]();
         ++opIdx;
         beginOp();
         return;

@@ -195,6 +195,7 @@ class Core : public Clocked
 
     OpList current;
     std::size_t opIdx = 0;
+    std::size_t actIdx = 0; //!< next entry of current.actions to fire
     Addr pcOffset[numFuncTags] = {}; //!< per-bucket PC offset
     bool running = false;
 

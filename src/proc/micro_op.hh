@@ -11,16 +11,27 @@
  * the paper's hardware would pay.  Hardware programming (DMA and MAC
  * command writes, lock releases) are Action entries that fire when the
  * replay reaches them, which keeps producer->consumer latencies honest.
+ *
+ * MicroOps are 12-byte trivially-copyable PODs; the action closures live
+ * out-of-line in the OpList's `actions` vector and are consumed in
+ * stream order when the replay reaches each Action op.  That split keeps
+ * re-emission cheap (no per-op closure construction/destruction) and is
+ * what lets the op-cache (src/firmware/op_cache.hh) replay a cached
+ * stream as a flat POD array copy while the handler still produces fresh
+ * per-invocation actions.
  */
 
 #ifndef TENGIG_PROC_MICRO_OP_HH
 #define TENGIG_PROC_MICRO_OP_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/logging.hh"
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace tengig {
@@ -59,40 +70,71 @@ enum class OpKind : std::uint8_t
     Action,   //!< zero-cost closure (hardware trigger, lock release)
 };
 
-/** One replayed operation. */
+/**
+ * One replayed operation.  Trivially copyable: Action closures are
+ * stored out-of-line in OpList::actions and consumed in stream order.
+ */
 struct MicroOp
 {
     OpKind kind = OpKind::Alu;
     FuncTag tag = FuncTag::Idle;
     std::uint16_t count = 1;   //!< Alu: instruction count
     std::uint16_t hazard = 0;  //!< Alu: extra pipeline stall cycles
-    Addr addr = 0;             //!< memory ops: scratchpad address
-    std::function<void()> action; //!< Action ops
+    std::uint32_t addr = 0;    //!< memory ops: scratchpad address
 };
+
+static_assert(std::is_trivially_copyable_v<MicroOp>,
+              "op streams must be flat-copyable for cached replay");
+
+/** Field-wise equality: the struct has padding, so memcmp is not a
+ *  valid comparison (padding bytes are indeterminate). */
+constexpr bool
+operator==(const MicroOp &a, const MicroOp &b)
+{
+    return a.kind == b.kind && a.tag == b.tag && a.count == b.count &&
+           a.hazard == b.hazard && a.addr == b.addr;
+}
 
 /**
  * A recorded handler invocation: the op stream plus bookkeeping the
- * core uses for accounting.
+ * core uses for accounting.  The closures of Action ops are held in
+ * `actions`, in the same order as the Action entries in `ops`.
  */
 struct OpList
 {
+    /** 48 inline bytes cover every handler action closure (the largest
+     *  carries a TxFrameInfo + slot address + sequence number). */
+    using Action = SmallFn<void(), 48>;
+
     std::vector<MicroOp> ops;
+    std::vector<Action> actions;
     bool idlePoll = false; //!< true when this is an empty-handed poll
 
     bool empty() const { return ops.empty(); }
     std::size_t size() const { return ops.size(); }
 
-    /** Reset for reuse, keeping the vector's capacity. */
+    /** Reset for reuse, keeping the vectors' capacity. */
     void
     clear()
     {
         ops.clear();
+        actions.clear();
         idlePoll = false;
     }
 };
 
 /**
  * Builder used by firmware handlers to record their op stream.
+ *
+ * Two modes:
+ *  - *recording* (the default): every call appends MicroOps to the
+ *    target list;
+ *  - *replay* (op-cache hits, see replayInto()): the target already
+ *    holds a cached POD op stream, so the emission calls (tag/alu/
+ *    load/store/rmw) become no-ops and only action() still collects --
+ *    handlers always run their functional state transition and produce
+ *    fresh per-invocation closures, which the replay consumes in the
+ *    cached stream's Action positions.
  */
 class OpRecorder
 {
@@ -112,6 +154,21 @@ class OpRecorder
         target.clear();
     }
 
+    /**
+     * Replay mode: @p target's `ops` already hold a cached stream (only
+     * its stale actions are cleared).  Emission calls are muted;
+     * action() appends as usual.
+     */
+    static OpRecorder
+    replayInto(OpList &target, FuncTag initial)
+    {
+        target.actions.clear();
+        return OpRecorder(&target, initial);
+    }
+
+    /** False in replay mode: emission-only work can be skipped. */
+    bool live() const { return isLive; }
+
     /** Switch the accounting bucket for subsequent ops. */
     void tag(FuncTag t) { cur = t; }
     FuncTag tag() const { return cur; }
@@ -120,7 +177,7 @@ class OpRecorder
     void
     alu(unsigned n, unsigned hazard_cycles = 0)
     {
-        if (n == 0 && hazard_cycles == 0)
+        if (!isLive || (n == 0 && hazard_cycles == 0))
             return;
         // Merge with a preceding Alu op in the same bucket to keep the
         // replayed stream compact.
@@ -140,57 +197,56 @@ class OpRecorder
         op.tag = cur;
         op.count = static_cast<std::uint16_t>(n);
         op.hazard = static_cast<std::uint16_t>(hazard_cycles);
-        list->ops.push_back(std::move(op));
+        list->ops.push_back(op);
     }
 
-    void
-    load(Addr addr)
-    {
-        MicroOp op;
-        op.kind = OpKind::MemRead;
-        op.tag = cur;
-        op.addr = addr;
-        list->ops.push_back(std::move(op));
-    }
-
-    void
-    store(Addr addr)
-    {
-        MicroOp op;
-        op.kind = OpKind::MemWrite;
-        op.tag = cur;
-        op.addr = addr;
-        list->ops.push_back(std::move(op));
-    }
-
-    void
-    rmw(Addr addr)
-    {
-        MicroOp op;
-        op.kind = OpKind::MemRmw;
-        op.tag = cur;
-        op.addr = addr;
-        list->ops.push_back(std::move(op));
-    }
+    void load(Addr addr) { mem(OpKind::MemRead, addr); }
+    void store(Addr addr) { mem(OpKind::MemWrite, addr); }
+    void rmw(Addr addr) { mem(OpKind::MemRmw, addr); }
 
     /** Closure executed when the replay reaches this point. */
+    template <typename F>
     void
-    action(std::function<void()> fn)
+    action(F &&fn)
     {
-        MicroOp op;
-        op.kind = OpKind::Action;
-        op.tag = cur;
-        op.action = std::move(fn);
-        list->ops.push_back(std::move(op));
+        OpList::Action a(std::forward<F>(fn));
+        if (!a)
+            return;
+        if (isLive) {
+            MicroOp op;
+            op.kind = OpKind::Action;
+            op.tag = cur;
+            list->ops.push_back(op);
+        }
+        list->actions.push_back(std::move(a));
     }
 
     OpList take() { return std::move(*list); }
     bool empty() const { return list->ops.empty(); }
 
   private:
+    OpRecorder(OpList *target, FuncTag initial)
+        : list(target), cur(initial), isLive(false)
+    {}
+
+    void
+    mem(OpKind kind, Addr addr)
+    {
+        if (!isLive)
+            return;
+        panic_if(addr > 0xffffffffu,
+                 "micro-op scratchpad address out of range: ", addr);
+        MicroOp op;
+        op.kind = kind;
+        op.tag = cur;
+        op.addr = static_cast<std::uint32_t>(addr);
+        list->ops.push_back(op);
+    }
+
     OpList owned;
     OpList *list;
     FuncTag cur;
+    bool isLive = true;
 };
 
 /**

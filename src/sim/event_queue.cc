@@ -160,16 +160,31 @@ EventQueue::run(Tick limit)
         }
         if (top.when > limit)
             break;
-        Tick when = top.when;
-        pending.pop_back();
-        Callback fn = std::move(s.fn);
-        s.alive = false;
-        ++s.generation;
-        --liveCount;
-        releaseSlot(idx);
-        _curTick = when;
-        ++executed;
-        fn();
+        // Commit to this tick, then drain every entry that shares it
+        // in one burst: the limit compare and curTick store are paid
+        // once per distinct tick, not once per event.  Callbacks that
+        // schedule more same-tick work land at the back of `pending`
+        // in order, so the burst picks them up exactly as the
+        // one-at-a-time loop would.
+        Tick t = top.when;
+        _curTick = t;
+        do {
+            std::uint32_t i = pending.back().slot;
+            Slot &slot = slots[i];
+            pending.pop_back();
+            if (!slot.alive) {
+                --deadInList;
+                releaseSlot(i);
+                continue;
+            }
+            Callback fn = std::move(slot.fn);
+            slot.alive = false;
+            ++slot.generation;
+            --liveCount;
+            releaseSlot(i);
+            ++executed;
+            fn();
+        } while (!pending.empty() && pending.back().when == t);
     }
     return _curTick;
 }

@@ -17,6 +17,7 @@
 #define TENGIG_SIM_SMALL_FN_HH
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -89,12 +90,21 @@ class SmallFn<R(Args...), Inline>
     reset() noexcept
     {
         if (ops) {
-            ops->destroy(buf);
+            if (ops->destroy)
+                ops->destroy(buf);
             ops = nullptr;
         }
     }
 
   private:
+    /**
+     * Null relocate/destroy mark a trivially-copyable inline callable:
+     * moveFrom() then memcpys the buffer instead of calling through a
+     * function pointer, and reset() skips the destroy call entirely.
+     * Nearly every hot-path closure (captures of `this` pointers and
+     * integers) takes this path, so moving callbacks through the event
+     * queue costs a fixed inline copy, not an indirect call.
+     */
     struct Ops
     {
         R (*call)(void *, Args &&...);
@@ -117,21 +127,27 @@ class SmallFn<R(Args...), Inline>
         [](void *p, Args &&...args) -> R {
             return deref<D, IsInline>(p)(std::forward<Args>(args)...);
         },
-        [](void *src, void *dst) noexcept {
-            if constexpr (IsInline) {
-                new (dst) D(std::move(deref<D, true>(src)));
-                deref<D, true>(src).~D();
-            } else {
-                *reinterpret_cast<D **>(dst) =
-                    *reinterpret_cast<D **>(src);
-            }
-        },
-        [](void *p) noexcept {
-            if constexpr (IsInline)
-                deref<D, true>(p).~D();
-            else
-                delete *reinterpret_cast<D **>(p);
-        },
+        IsInline && std::is_trivially_copyable_v<D>
+            ? nullptr
+            : static_cast<void (*)(void *, void *) noexcept>(
+                  [](void *src, void *dst) noexcept {
+                      if constexpr (IsInline) {
+                          new (dst) D(std::move(deref<D, true>(src)));
+                          deref<D, true>(src).~D();
+                      } else {
+                          *reinterpret_cast<D **>(dst) =
+                              *reinterpret_cast<D **>(src);
+                      }
+                  }),
+        IsInline && std::is_trivially_copyable_v<D>
+            ? nullptr
+            : static_cast<void (*)(void *) noexcept>(
+                  [](void *p) noexcept {
+                      if constexpr (IsInline)
+                          deref<D, true>(p).~D();
+                      else
+                          delete *reinterpret_cast<D **>(p);
+                  }),
     };
 
     void
@@ -139,7 +155,10 @@ class SmallFn<R(Args...), Inline>
     {
         ops = other.ops;
         if (ops) {
-            ops->relocate(other.buf, buf);
+            if (ops->relocate)
+                ops->relocate(other.buf, buf);
+            else
+                std::memcpy(buf, other.buf, Inline);
             other.ops = nullptr;
         }
     }

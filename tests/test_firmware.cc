@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "firmware/event_register.hh"
 #include "nic/controller.hh"
 
@@ -233,4 +235,67 @@ TEST(DeferredSegmentation, DuplexTsoHasNoErrors)
     NicResults r = nic.run(tickPerMs, 2 * tickPerMs);
     EXPECT_EQ(r.errors, 0u);
     EXPECT_GT(r.totalUdpGbps, 18.0);
+}
+
+// ---------------------------------------------------------------------
+// Profile attribution: dispatch prologue work (poll loads, claim
+// checks) must be charged to the dispatching function's bucket, never
+// to Idle.  A regression here (the recorder opening under FuncTag::Idle
+// and tagging at dispatch instead of at service entry) inflates the
+// Idle bucket by a fixed amount per successful dispatch, which the
+// calibrated identity below catches in either firmware mode.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Instructions per empty-handed poll stream, calibrated on a run
+ *  whose single offered frame arrives after the window closes: every
+ *  poll is an idle scan. */
+double
+idleScanCost(NicConfig cfg)
+{
+    cfg.rxOfferedRate = 0.0001; // first frame lands ~12 ms out
+    NicController nic(cfg);
+    NicResults r = nic.runRxOnly(1, tickPerMs / 4);
+    double polls = static_cast<double>(r.coreTotals.idlePolls);
+    double instr =
+        static_cast<double>(r.profile[FuncTag::Idle].instructions);
+    EXPECT_GT(polls, 100.0);
+    // The scan shape is constant, so the per-poll cost is an integer
+    // (up to the partial streams in flight at the cutoff).
+    return std::round(instr / polls);
+}
+
+void
+checkIdleAttribution(bool task_level)
+{
+    NicConfig cfg;
+    cfg.cores = 4;
+    cfg.taskLevelFirmware = task_level;
+    double k = idleScanCost(cfg);
+    EXPECT_GE(k, 1.0);
+
+    // Loaded duplex window: Idle instructions must equal the idle-poll
+    // count times the calibrated scan cost -- dispatches contribute
+    // nothing.  The slack covers streams cut by the window edges.
+    NicController nic(cfg);
+    NicResults r = nic.run(tickPerMs / 2, tickPerMs);
+    double expect = static_cast<double>(r.coreTotals.idlePolls) * k;
+    double slack = k * (2.0 * cfg.cores + 4.0);
+    EXPECT_NEAR(static_cast<double>(
+                    r.profile[FuncTag::Idle].instructions),
+                expect, slack)
+        << "idlePolls=" << r.coreTotals.idlePolls << " k=" << k;
+}
+
+} // namespace
+
+TEST(ProfileAttribution, FrameLevelDispatchChargesNothingToIdle)
+{
+    checkIdleAttribution(false);
+}
+
+TEST(ProfileAttribution, EventRegisterDispatchChargesNothingToIdle)
+{
+    checkIdleAttribution(true);
 }

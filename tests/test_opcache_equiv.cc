@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Op-cache golden equivalence suite (DESIGN.md §14).
+ *
+ * The firmware op cache is a host-simulator acceleration with a
+ * bit-identical contract: with the cache on, every run must produce
+ * exactly the results, stat tree, and event timeline of the cache-off
+ * run.  This suite pins that contract for every bench workload shape:
+ * the default duplex, the 1472 B duplex, the 8-flow IMIX, the
+ * vf_isolation quick rows (victim + storming aggressor VFs), and the
+ * fault-storm quick row -- each run twice, cache off then cache on,
+ * comparing
+ *
+ *   - NicResults field by field (exact, including doubles: the claim
+ *     is bit-identical execution, not tolerance-close),
+ *   - the registered stat tree serialized to JSON, minus only the
+ *     "opcache" subtree (the one set of stats that legitimately
+ *     differs -- controller.cc registers it conditionally for exactly
+ *     this strip),
+ *   - the Chrome trace-event timeline (lane names, every span,
+ *     instant, and counter sample).
+ *
+ * A separate case runs opCacheVerify=true, which re-records every
+ * cache hit live and byte-compares the op stream inside the simulator
+ * (a panic on divergence), on both dispatcher flavors.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nic/controller.hh"
+#include "obs/trace_log.hh"
+
+using namespace tengig;
+
+namespace {
+
+Tick
+warmup()
+{
+    return tickPerMs / 4;
+}
+
+Tick
+window()
+{
+    return tickPerMs / 2;
+}
+
+/** Stat tree as pretty JSON with the root "opcache" subtree removed. */
+std::string
+strippedStats(const obs::StatGroup &tree)
+{
+    obs::json::Value full = tree.toJson();
+    obs::json::Value out = obs::json::Value::object();
+    for (const auto &[key, val] : full.asObject()) {
+        if (key != "opcache")
+            out.set(key, val);
+    }
+    return out.dump(2);
+}
+
+struct Snapshot
+{
+    NicResults r;
+    std::string stats;   //!< stat tree JSON minus the opcache subtree
+    std::string trace;   //!< full Chrome trace-event document
+    double cacheHits = 0.0;
+};
+
+Snapshot
+runOne(NicConfig cfg, bool cache, bool verify = false)
+{
+    cfg.opCache = cache;
+    cfg.opCacheVerify = verify;
+    NicController nic(cfg);
+    obs::TraceLog log;
+    nic.attachTrace(log);
+    Snapshot s;
+    s.r = nic.run(warmup(), window());
+    s.stats = strippedStats(nic.statTree());
+    s.trace = log.str();
+    if (const obs::StatGroup *g = nic.statTree().findGroup("opcache"))
+        s.cacheHits = g->value("hits");
+    return s;
+}
+
+void
+expectIdenticalResults(const NicResults &off, const NicResults &on)
+{
+    EXPECT_EQ(off.measuredTicks, on.measuredTicks);
+    EXPECT_EQ(off.txUdpGbps, on.txUdpGbps);
+    EXPECT_EQ(off.rxUdpGbps, on.rxUdpGbps);
+    EXPECT_EQ(off.totalUdpGbps, on.totalUdpGbps);
+    EXPECT_EQ(off.txFps, on.txFps);
+    EXPECT_EQ(off.rxFps, on.rxFps);
+    EXPECT_EQ(off.txFrames, on.txFrames);
+    EXPECT_EQ(off.rxFrames, on.rxFrames);
+    EXPECT_EQ(off.rxDropped, on.rxDropped);
+    EXPECT_EQ(off.errors, on.errors);
+    EXPECT_EQ(off.integrityErrors, on.integrityErrors);
+    EXPECT_EQ(off.orderGaps, on.orderGaps);
+    EXPECT_EQ(off.orderDuplicates, on.orderDuplicates);
+    EXPECT_EQ(off.flowsValidated, on.flowsValidated);
+    EXPECT_EQ(off.aggregateIpc, on.aggregateIpc);
+    EXPECT_EQ(off.coreIpc, on.coreIpc);
+
+    EXPECT_EQ(off.coreTotals.instructions, on.coreTotals.instructions);
+    EXPECT_EQ(off.coreTotals.executeCycles, on.coreTotals.executeCycles);
+    EXPECT_EQ(off.coreTotals.imissCycles, on.coreTotals.imissCycles);
+    EXPECT_EQ(off.coreTotals.loadStallCycles,
+              on.coreTotals.loadStallCycles);
+    EXPECT_EQ(off.coreTotals.conflictCycles,
+              on.coreTotals.conflictCycles);
+    EXPECT_EQ(off.coreTotals.pipelineCycles,
+              on.coreTotals.pipelineCycles);
+    EXPECT_EQ(off.coreTotals.idleCycles, on.coreTotals.idleCycles);
+    EXPECT_EQ(off.coreTotals.invocations, on.coreTotals.invocations);
+    EXPECT_EQ(off.coreTotals.idlePolls, on.coreTotals.idlePolls);
+
+    for (std::size_t i = 0; i < numFuncTags; ++i) {
+        FuncTag t = static_cast<FuncTag>(i);
+        SCOPED_TRACE(funcTagName(t));
+        EXPECT_EQ(off.profile[t].instructions, on.profile[t].instructions);
+        EXPECT_EQ(off.profile[t].memAccesses, on.profile[t].memAccesses);
+        EXPECT_EQ(off.profile[t].cycles, on.profile[t].cycles);
+    }
+
+    EXPECT_EQ(off.rxLatency.count, on.rxLatency.count);
+    EXPECT_EQ(off.rxLatency.meanUs, on.rxLatency.meanUs);
+    EXPECT_EQ(off.rxLatency.p50Us, on.rxLatency.p50Us);
+    EXPECT_EQ(off.rxLatency.p95Us, on.rxLatency.p95Us);
+    EXPECT_EQ(off.rxLatency.p99Us, on.rxLatency.p99Us);
+    EXPECT_EQ(off.rxLatency.maxUs, on.rxLatency.maxUs);
+
+    EXPECT_EQ(off.spadGbps, on.spadGbps);
+    EXPECT_EQ(off.sdramGbps, on.sdramGbps);
+    EXPECT_EQ(off.imemGbps, on.imemGbps);
+    EXPECT_EQ(off.imemUtilization, on.imemUtilization);
+}
+
+void
+expectEquivalent(const NicConfig &cfg, bool expect_hits = true)
+{
+    Snapshot off = runOne(cfg, false);
+    Snapshot on = runOne(cfg, true);
+    expectIdenticalResults(off.r, on.r);
+    EXPECT_EQ(off.stats, on.stats)
+        << "stat tree diverged (minus the opcache subtree)";
+    EXPECT_EQ(off.trace, on.trace) << "event timeline diverged";
+    if (expect_hits) {
+        EXPECT_GT(on.cacheHits, 0.0)
+            << "cache-on run never hit: the equivalence is vacuous";
+    }
+}
+
+/** The vf_isolation quick row shapes (victim + storming aggressor). */
+NicConfig
+vnicStormConfig()
+{
+    NicConfig cfg;
+    cfg.sendRingFrames = 128;
+
+    VfConfig victim;
+    victim.name = "victim";
+    victim.weight = 1.0;
+    victim.txRateGbps = 2.0;
+    victim.txTraffic = TrafficProfile::uniform(
+        4, SizeModel::fixed(1472), ArrivalModel::paced(), 1.0, 0x71c71);
+    victim.rxTraffic = TrafficProfile::uniform(
+        4, SizeModel::fixed(1472), ArrivalModel::paced(), 0.15, 0x71c72);
+
+    VfConfig aggressor;
+    aggressor.name = "aggressor";
+    aggressor.weight = 1.0;
+    aggressor.txTraffic = TrafficProfile::uniform(
+        4, SizeModel::fixed(1472), ArrivalModel::paced(), 1.0, 0xa66e1);
+    aggressor.rxTraffic = TrafficProfile::uniform(
+        4, SizeModel::fixed(1472), ArrivalModel::paced(), 0.35, 0xa66e2);
+    aggressor.faults.wireCrcRate = 0.010;
+    aggressor.faults.wireTruncateRate = 0.005;
+    aggressor.faults.wireRuntRate = 0.005;
+    aggressor.faults.txPoisonRate = 0.010;
+    aggressor.faults.memFaultRate = 0.004;
+    aggressor.faults.doorbellDropRate = 0.050;
+    aggressor.faults.watchdogCycles = 50000;
+
+    cfg.vfs = {victim, aggressor};
+    return cfg;
+}
+
+/** The fault_storm quick row shape (storm raging the whole run). */
+NicConfig
+faultStormConfig()
+{
+    NicConfig cfg;
+    cfg.txTraffic = TrafficProfile::uniform(
+        8, SizeModel::fixed(1472), ArrivalModel::paced(), 1.0, 0xbe7c);
+    cfg.rxTraffic = TrafficProfile::uniform(
+        8, SizeModel::fixed(1472), ArrivalModel::paced(), 1.0, 0xbe7c);
+    cfg.faults.wireCrcRate = 0.010;
+    cfg.faults.wireTruncateRate = 0.005;
+    cfg.faults.wireRuntRate = 0.005;
+    cfg.faults.txPoisonRate = 0.010;
+    cfg.faults.memFaultRate = 0.004;
+    cfg.faults.doorbellDropRate = 0.050;
+    cfg.faults.watchdogCycles = 50000;
+    return cfg;
+}
+
+TEST(OpCacheEquivalence, DefaultDuplex)
+{
+    expectEquivalent(NicConfig{});
+}
+
+TEST(OpCacheEquivalence, Duplex1472B)
+{
+    NicConfig cfg;
+    cfg.txPayloadBytes = 1472;
+    cfg.rxPayloadBytes = 1472;
+    expectEquivalent(cfg);
+}
+
+TEST(OpCacheEquivalence, ImixEightFlows)
+{
+    NicConfig cfg;
+    cfg.txTraffic = TrafficProfile::imixPoisson(8, 1.0, 0x51);
+    cfg.rxTraffic = TrafficProfile::imixPoisson(8, 1.0, 0x52);
+    expectEquivalent(cfg);
+}
+
+TEST(OpCacheEquivalence, TaskLevelDuplex)
+{
+    NicConfig cfg;
+    cfg.taskLevelFirmware = true;
+    expectEquivalent(cfg);
+}
+
+TEST(OpCacheEquivalence, VfIsolationStorm)
+{
+    expectEquivalent(vnicStormConfig());
+}
+
+TEST(OpCacheEquivalence, FaultStorm)
+{
+    expectEquivalent(faultStormConfig());
+}
+
+/**
+ * opCacheVerify re-records every hit with a live recorder and
+ * byte-compares the streams inside the simulator; a keying bug is a
+ * panic, not a wrong number.  Run it on both dispatcher flavors and
+ * confirm the results still match the cache-off baseline.
+ */
+TEST(OpCacheEquivalence, VerifyModeFrameLevel)
+{
+    NicConfig cfg;
+    Snapshot off = runOne(cfg, false);
+    Snapshot ver = runOne(cfg, true, true);
+    expectIdenticalResults(off.r, ver.r);
+    EXPECT_EQ(off.stats, ver.stats);
+}
+
+TEST(OpCacheEquivalence, VerifyModeTaskLevel)
+{
+    NicConfig cfg;
+    cfg.taskLevelFirmware = true;
+    Snapshot off = runOne(cfg, false);
+    Snapshot ver = runOne(cfg, true, true);
+    expectIdenticalResults(off.r, ver.r);
+    EXPECT_EQ(off.stats, ver.stats);
+}
+
+} // namespace

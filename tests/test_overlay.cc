@@ -255,3 +255,87 @@ TEST(Overlay, NodeRecyclingSurvivesHeavyChurn)
     for (Addr a = 0; a < last.totalLen(); ++a)
         ASSERT_EQ(bytes[a], expectedByte(last, 0, a));
 }
+
+// ---------------------------------------------------------------------
+// Span-bookkeeping edge cases: copyFrom windows that touch span
+// boundaries exactly must never rebase a zero-length sub-window (putSpan
+// panics on one), and re-materializing an already-expanded range must
+// not double-count `materializations`.
+// ---------------------------------------------------------------------
+
+TEST(Overlay, CopyFromWindowTouchingSpanEdgesMakesNoZeroLengthSpans)
+{
+    OverlayMem src(4096), dst(4096);
+    FrameDesc d{4, 2, 0, 100};
+    Addr len = d.totalLen();
+    std::uint8_t raw[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    src.writeBytes(92, raw, 8);   // raw [92, 100)
+    src.putFrame(100, d);         // span [100, 100 + len)
+    src.writeBytes(100 + len, raw, 8); // raw beyond the span
+
+    // Window ends exactly where the span begins: pure raw copy, and the
+    // span must not contribute a zero-length rebase at the window edge.
+    dst.copyFrom(src, 92, 500, 8);
+    EXPECT_EQ(dst.spanCount(), 0u);
+
+    // Window starts exactly where the span ends: likewise raw only.
+    dst.copyFrom(src, 100 + len, 600, 8);
+    EXPECT_EQ(dst.spanCount(), 0u);
+
+    // Window covering the span exactly moves it whole.
+    dst.copyFrom(src, 100, 1000, len);
+    EXPECT_EQ(dst.spanCount(), 1u);
+    auto v = dst.viewFrame(1000, len);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, d);
+
+    // Window clipping one byte off each span edge rebases the interior
+    // sub-window only (len - 2 bytes), never a zero-length shred.
+    dst.copyFrom(src, 101, 2000, len - 2);
+    EXPECT_EQ(dst.spanCount(), 2u);
+    EXPECT_EQ(src.materializations(), 0u);
+    EXPECT_EQ(dst.materializations(), 0u);
+
+    auto got = readAll(dst, 2000, len - 2);
+    auto want = readAll(src, 101, len - 2);
+    EXPECT_EQ(got, want);
+}
+
+TEST(Overlay, CopyFromZeroLengthIsANoOp)
+{
+    OverlayMem src(1024), dst(1024);
+    FrameDesc d{1, 1, 0, 64};
+    src.putFrame(0, d);
+
+    dst.copyFrom(src, 0, 100, 0);
+    EXPECT_EQ(dst.spanCount(), 0u);
+    EXPECT_EQ(src.spanCount(), 1u);
+    EXPECT_EQ(src.materializations(), 0u);
+    EXPECT_EQ(dst.materializations(), 0u);
+}
+
+TEST(Overlay, RepeatedMaterializeRangeCountsEachSpanOnce)
+{
+    OverlayMem m(4096);
+    FrameDesc d{7, 3, 0, 128};
+    m.putFrame(200, d);
+
+    // A partial-range materialization expands the whole span once.
+    m.bytesFor(210, 4);
+    EXPECT_EQ(m.materializations(), 1u);
+    EXPECT_EQ(m.spanCount(), 0u);
+
+    // Re-materializing any part of the now-raw range adds nothing:
+    // the counter tracks span expansions, not byte reads.
+    m.bytesFor(210, 4);
+    m.bytesFor(200, d.totalLen());
+    std::uint8_t tmp[4];
+    m.readBytes(220, tmp, 4);
+    EXPECT_EQ(m.materializations(), 1u);
+
+    // The expanded bytes stay exact across the repeated accesses.
+    auto bytes = readAll(m, 200, d.totalLen());
+    for (Addr a = 0; a < d.totalLen(); ++a)
+        ASSERT_EQ(bytes[a], expectedByte(d, 0, a)) << "offset " << a;
+    EXPECT_EQ(m.materializations(), 1u);
+}

@@ -4,9 +4,8 @@
 # Usage:
 #   tools/check.sh            # full suite
 #   tools/check.sh --quick    # only tests labeled "quick"
-#   tools/check.sh --bench    # build + run the sim-speed benchmark and
-#                             # print events/sec deltas vs the committed
-#                             # BENCH_sim_speed.json (if present)
+#   tools/check.sh --bench    # sim-speed regression gate + cache
+#                             # equivalence smoke (contract below)
 #   tools/check.sh --faults   # build + run the fault-storm soak (the
 #                             # graceful-degradation contracts; nonzero
 #                             # exit on any violation)
@@ -18,6 +17,29 @@
 #
 # Extra arguments after --quick are passed through to ctest
 # (e.g. tools/check.sh -R Traffic).
+#
+# --bench contract
+# ----------------
+# Wall-clock throughput is machine-dependent, so the committed
+# BENCH_sim_speed.json is never used as a pass/fail reference: a
+# machine slower than the one that produced it would fail the gate
+# without any code change.  Instead the gate measures BOTH sides on
+# this machine, best of three runs each:
+#
+#   reference   the committed tree (git HEAD), built into
+#               build/benchref/ (reused while HEAD is unchanged)
+#   candidate   the working tree, built into the normal build dir
+#
+# and fails when any row's candidate host-events/sec falls below
+# (1 - tolerance) x reference.  The tolerance defaults to 0.10 and is
+# overridable via TENGIG_BENCH_TOLERANCE (e.g. 0.25 on very noisy
+# shared machines).  The committed baseline is still printed as an
+# informational column.  When the tree is not a git checkout the gate
+# degrades to informational-only output against the committed file.
+#
+# --bench also runs the op-cache equivalence smoke first: the default
+# duplex workload with the firmware op cache forced off vs on must
+# produce bit-identical results (tests/test_opcache_equiv).
 
 set -eu
 
@@ -30,57 +52,106 @@ if [ "$sanitize" = "ON" ]; then
 fi
 
 if [ "${1:-}" = "--bench" ]; then
-    # Simulator-speed check: rebuild, run the bench fresh, and compare
-    # host events/sec per row against the committed baseline report.
+    # Simulator-speed gate; see the header contract.  Build the
+    # working-tree candidate first.
     cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize"
-    cmake --build "$build" -j"$(nproc)" --target sim_speed
+    cmake --build "$build" -j"$(nproc)" --target sim_speed \
+        --target test_opcache_equiv
+
+    # Equivalence smoke: cache off vs on must be bit-identical on the
+    # default duplex before any throughput number means anything.
+    "$build/tests/test_opcache_equiv" \
+        --gtest_filter='OpCacheEquivalence.DefaultDuplex'
+
     # Wall-clock benches are noisy: take each row's best of three runs
-    # before comparing, mirroring how the committed baseline is made.
+    # on both sides before comparing.
     fresh="$build/BENCH_sim_speed.fresh.json"
     "$build/bench/sim_speed" "--json=$fresh"
     "$build/bench/sim_speed" "--json=$fresh.2"
     "$build/bench/sim_speed" "--json=$fresh.3"
+
+    tolerance=${TENGIG_BENCH_TOLERANCE:-0.10}
     baseline="$repo/BENCH_sim_speed.json"
-    if [ ! -f "$baseline" ]; then
-        echo "no committed BENCH_sim_speed.json baseline; wrote $fresh"
+
+    # Fresh-built reference: the committed tree (HEAD), built and
+    # measured on THIS machine so the comparison is load- and
+    # hardware-matched.  Reused across runs while HEAD is unchanged.
+    ref=""
+    head_commit=$(git -C "$repo" rev-parse HEAD 2>/dev/null || true)
+    if [ -n "$head_commit" ]; then
+        refdir="$build/benchref"
+        if [ ! -f "$refdir/.ref-commit" ] ||
+           [ "$(cat "$refdir/.ref-commit")" != "$head_commit" ]; then
+            rm -rf "$refdir"
+            mkdir -p "$refdir/src"
+            git -C "$repo" archive "$head_commit" | tar -x -C "$refdir/src"
+            cmake -B "$refdir/build" -S "$refdir/src" \
+                -DTENGIG_SANITIZE="$sanitize"
+            cmake --build "$refdir/build" -j"$(nproc)" --target sim_speed
+            printf '%s\n' "$head_commit" > "$refdir/.ref-commit"
+        fi
+        ref="$refdir/BENCH_sim_speed.ref.json"
+        "$refdir/build/bench/sim_speed" "--json=$ref"
+        "$refdir/build/bench/sim_speed" "--json=$ref.2"
+        "$refdir/build/bench/sim_speed" "--json=$ref.3"
+    elif [ ! -f "$baseline" ]; then
+        echo "no git HEAD and no committed baseline; wrote $fresh"
         exit 0
     fi
-    # Fail if any row regresses by more than 10% in host events/sec.
-    python3 - "$baseline" "$fresh" "$fresh.2" "$fresh.3" <<'EOF'
-import json, sys
-base = json.load(open(sys.argv[1]))
-fresh = json.load(open(sys.argv[2]))
-best = {}
-for path in sys.argv[2:]:
-    for r in json.load(open(path))["rows"]:
-        m = best.setdefault(r["name"], r["metrics"])
-        if r["metrics"]["hostEventsPerSec"] > m["hostEventsPerSec"]:
-            best[r["name"]] = r["metrics"]
-for r in fresh["rows"]:
-    r["metrics"] = best[r["name"]]
-base_rows = {r["name"]: r["metrics"] for r in base["rows"]}
+
+    TENGIG_BENCH_REF="$ref" python3 - "$tolerance" "$baseline" \
+        "$fresh" "$fresh.2" "$fresh.3" <<'EOF'
+import json, os, sys
+
+def best_rows(paths):
+    """Per-row best host-events/sec across repeated runs."""
+    best = {}
+    for path in paths:
+        for r in json.load(open(path))["rows"]:
+            m = best.setdefault(r["name"], r["metrics"])
+            if r["metrics"]["hostEventsPerSec"] > m["hostEventsPerSec"]:
+                best[r["name"]] = r["metrics"]
+    return best
+
+tolerance = float(sys.argv[1])
+fresh = best_rows(sys.argv[3:])
+committed = {}
+if os.path.exists(sys.argv[2]):
+    committed = {r["name"]: r["metrics"]
+                 for r in json.load(open(sys.argv[2]))["rows"]}
+
+ref_path = os.environ.get("TENGIG_BENCH_REF", "")
+reference = {}
+if ref_path:
+    reference = best_rows([ref_path, ref_path + ".2", ref_path + ".3"])
+
+gate = 1.0 - tolerance
 print()
-print("sim_speed vs committed baseline (host events/sec):")
-print("%-30s %12s %12s %8s" % ("config", "baseline", "now", "ratio"))
+print("sim_speed: host events/sec, best of 3 per side "
+      "(gate: >= %.2fx of same-machine reference)" % gate)
+print("%-30s %12s %12s %12s %8s" %
+      ("config", "committed", "reference", "now", "ratio"))
 regressed = []
-for row in fresh["rows"]:
-    name, m = row["name"], row["metrics"]
-    b = base_rows.get(name)
-    if b is None:
-        print("%-30s %12s %12.0f %8s" %
-              (name, "-", m["hostEventsPerSec"], "new"))
+for name, m in fresh.items():
+    c = committed.get(name)
+    ref = reference.get(name)
+    cstr = "%12.0f" % c["hostEventsPerSec"] if c else "%12s" % "-"
+    if ref is None:
+        print("%-30s %s %12s %12.0f %8s" %
+              (name, cstr, "-", m["hostEventsPerSec"], "info"))
         continue
-    ratio = m["hostEventsPerSec"] / b["hostEventsPerSec"]
-    flag = " REGRESSED" if ratio < 0.90 else ""
-    print("%-30s %12.0f %12.0f %7.2fx%s" %
-          (name, b["hostEventsPerSec"], m["hostEventsPerSec"], ratio,
-           flag))
-    if ratio < 0.90:
+    ratio = m["hostEventsPerSec"] / ref["hostEventsPerSec"]
+    flag = " REGRESSED" if ratio < gate else ""
+    print("%-30s %s %12.0f %12.0f %7.2fx%s" %
+          (name, cstr, ref["hostEventsPerSec"], m["hostEventsPerSec"],
+           ratio, flag))
+    if ratio < gate:
         regressed.append(name)
 if regressed:
     print()
-    print("FAIL: >10%% host-throughput regression on: %s"
-          % ", ".join(regressed))
+    print("FAIL: >%.0f%% host-throughput regression vs the same-machine"
+          " reference on: %s" % (tolerance * 100, ", ".join(regressed)))
+    print("(override with TENGIG_BENCH_TOLERANCE=<fraction>)")
     sys.exit(1)
 EOF
     exit $?
