@@ -1,0 +1,356 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace tengig {
+
+namespace {
+
+constexpr std::uint64_t fnvBasis = 0xcbf29ce484222325ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Fold one frame observation (at @p tick) into a stream hash. */
+std::uint64_t
+foldFrame(std::uint64_t h, Tick tick, const FrameView &v)
+{
+    std::uint32_t seq = ~0u;
+    std::uint32_t flow = ~0u;
+    peekFrameView(v, seq, flow);
+    h = fnv1a(h, tick);
+    h = fnv1a(h, v.len);
+    h = fnv1a(h, (static_cast<std::uint64_t>(flow) << 32) | seq);
+    return h;
+}
+
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+const char *
+topologyName(FleetTopology t)
+{
+    switch (t) {
+      case FleetTopology::None: return "none";
+      case FleetTopology::Ring: return "ring";
+      case FleetTopology::Pairs: return "pairs";
+    }
+    return "?";
+}
+
+} // namespace
+
+FleetRunner::FleetRunner(const FleetConfig &c) : cfg(c)
+{
+    cfg.validate();
+
+    unsigned m = static_cast<unsigned>(cfg.nodes.size());
+    bool forwarding = cfg.topology != FleetTopology::None;
+    if (forwarding) {
+        fabric = std::make_unique<FleetSwitch>(cfg.sw, m);
+        fabric->registerStats(fleetRoot.group("switch"));
+    }
+
+    for (unsigned i = 0; i < m; ++i) {
+        auto node = std::make_unique<Node>();
+        node->nic = std::make_unique<NicController>(cfg.nodes[i]);
+        node->wireHash = fnvBasis;
+        node->injectHash = fnvBasis;
+        switch (cfg.topology) {
+          case FleetTopology::Ring:
+            node->dstPort = (i + 1) % m;
+            break;
+          case FleetTopology::Pairs:
+            node->dstPort = i ^ 1u;
+            break;
+          case FleetTopology::None:
+            node->dstPort = i;
+            break;
+        }
+        nodes.push_back(std::move(node));
+    }
+
+    // The tap runs on whichever worker owns the instance during a
+    // window; it touches only that instance's Node state, and barrier
+    // synchronization orders those accesses across windows.
+    for (auto &np : nodes) {
+        Node *n = np.get();
+        bool capture = forwarding;
+        n->nic->setWireTap([n, capture](const FrameView &v) {
+            Tick t = n->nic->eventQueue().curTick();
+            n->wireHash = foldFrame(n->wireHash, t, v);
+            if (capture) {
+                FrameData fd;
+                if (v.desc)
+                    fd.desc = *v.desc;
+                else
+                    fd.bytes.assign(v.bytes, v.bytes + v.len);
+                n->outbox.push_back({t, n->captureSeq++, std::move(fd)});
+            }
+        });
+    }
+}
+
+FleetRunner::~FleetRunner() = default;
+
+unsigned
+FleetRunner::resolveThreads() const
+{
+    if (cfg.threads)
+        return cfg.threads;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+FleetRunner::exchange(Tick now, FleetResults &res)
+{
+    (void)res;
+    if (!fabric)
+        return;
+
+    // Deterministic merge: simulated send time, then source port, then
+    // per-source capture order.  This total order depends only on the
+    // simulation, never on which thread ran which instance.
+    mergeScratch.clear();
+    for (unsigned p = 0; p < nodes.size(); ++p)
+        for (Capture &cap : nodes[p]->outbox)
+            mergeScratch.emplace_back(p, &cap);
+    std::sort(mergeScratch.begin(), mergeScratch.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second->sent != b.second->sent)
+                      return a.second->sent < b.second->sent;
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second->seq < b.second->seq;
+              });
+
+    for (auto &[src, cap] : mergeScratch) {
+        unsigned dst = nodes[src]->dstPort;
+        auto arrival = fabric->forward(src, dst, cap->sent,
+                                       cap->frame.frameBytes());
+        if (!arrival)
+            continue; // dropped at the egress FIFO, counted there
+        fatal_if(*arrival < now, "fleet lookahead violated: arrival ",
+                 *arrival, " before barrier ", now,
+                 " (fabric latency must be >= sync window)");
+
+        Node *dn = nodes[dst].get();
+        dn->injectHash = foldFrame(dn->injectHash, *arrival,
+                                   cap->frame.view());
+        NicController *nic = dn->nic.get();
+        auto fd = std::make_unique<FrameData>(std::move(cap->frame));
+        dn->nic->eventQueue().schedule(
+            *arrival, [nic, dn, fd = std::move(fd)]() mutable {
+                if (!nic->injectWireFrame(std::move(*fd)))
+                    ++dn->injectDropped;
+            });
+    }
+    for (auto &n : nodes)
+        n->outbox.clear();
+}
+
+FleetResults
+FleetRunner::run()
+{
+    fatal_if(ran, "FleetRunner::run is single-shot; build a new runner");
+    ran = true;
+
+    unsigned nthreads = resolveThreads();
+    std::size_t m = nodes.size();
+    FleetResults res;
+
+    for (auto &n : nodes)
+        n->nic->startRun();
+
+    Tick end = cfg.warmupTicks + cfg.measureTicks;
+    auto beginAll = [&] {
+        for (auto &n : nodes) {
+            n->nic->checkLiveness();
+            n->nic->beginMeasurement();
+        }
+    };
+    if (cfg.warmupTicks == 0)
+        beginAll();
+
+    auto wall0 = std::chrono::steady_clock::now();
+
+    std::atomic<std::size_t> nextIdx{0};
+    std::atomic<unsigned> busy{0};
+    std::atomic<unsigned> peak{0};
+    Tick target = 0;
+    bool done = false;
+
+    std::vector<std::thread> pool;
+    std::unique_ptr<std::barrier<>> startGate;
+    std::unique_ptr<std::barrier<>> doneGate;
+    if (nthreads > 1 && m > 1) {
+        auto workers = static_cast<std::ptrdiff_t>(nthreads);
+        startGate = std::make_unique<std::barrier<>>(workers + 1);
+        doneGate = std::make_unique<std::barrier<>>(workers + 1);
+        auto worker = [&] {
+            while (true) {
+                startGate->arrive_and_wait();
+                if (done)
+                    return;
+                for (std::size_t i;
+                     (i = nextIdx.fetch_add(1)) < nodes.size();) {
+                    unsigned b = busy.fetch_add(1) + 1;
+                    unsigned p = peak.load();
+                    while (b > p &&
+                           !peak.compare_exchange_weak(p, b)) {
+                    }
+                    nodes[i]->nic->eventQueue().runUntil(target);
+                    busy.fetch_sub(1);
+                }
+                doneGate->arrive_and_wait();
+            }
+        };
+        pool.reserve(nthreads);
+        for (unsigned t = 0; t < nthreads; ++t)
+            pool.emplace_back(worker);
+    }
+
+    auto windowTo = [&](Tick until) {
+        if (pool.empty()) {
+            for (auto &n : nodes)
+                n->nic->eventQueue().runUntil(until);
+            return;
+        }
+        target = until;
+        nextIdx.store(0, std::memory_order_relaxed);
+        startGate->arrive_and_wait(); // workers see `target`
+        doneGate->arrive_and_wait();  // coordinator sees all queues
+    };
+
+    Tick t = 0;
+    while (t < end) {
+        Tick edge = t < cfg.warmupTicks ? cfg.warmupTicks : end;
+        Tick until = std::min(t + cfg.syncWindowTicks, edge);
+        windowTo(until);
+        exchange(until, res);
+        ++res.windows;
+        t = until;
+        if (t == cfg.warmupTicks && t != end)
+            beginAll();
+    }
+
+    if (!pool.empty()) {
+        done = true;
+        startGate->arrive_and_wait();
+        for (auto &th : pool)
+            th.join();
+    }
+
+    auto wall1 = std::chrono::steady_clock::now();
+    res.wallSeconds =
+        std::chrono::duration<double>(wall1 - wall0).count();
+    res.maxConcurrentWorkers = pool.empty() ? 1 : peak.load();
+
+    for (auto &n : nodes) {
+        n->nic->checkLiveness();
+        NicResults r = n->nic->endMeasurement();
+        n->nic->stopRun();
+        res.aggTxGbps += r.txUdpGbps;
+        res.aggRxGbps += r.rxUdpGbps;
+        res.aggTotalGbps += r.totalUdpGbps;
+        res.errors += r.errors;
+        res.eventsExecuted += n->nic->eventQueue().executedEvents();
+        res.wireHash.push_back(n->wireHash);
+        res.injectHash.push_back(n->injectHash);
+        res.injectRejected += n->injectDropped;
+        res.nic.push_back(std::move(r));
+    }
+    if (res.wallSeconds > 0)
+        res.eventsPerSec =
+            static_cast<double>(res.eventsExecuted) / res.wallSeconds;
+    if (fabric) {
+        res.framesForwarded = fabric->framesForwarded();
+        res.framesDropped = fabric->framesDropped();
+        const auto &lh = fabric->latencyHistogram();
+        res.switchLatencyMeanUs = lh.mean() / tickPerUs;
+        res.switchLatencyP99Us = lh.p99() / tickPerUs;
+    }
+    return res;
+}
+
+void
+FleetRunner::report(stats::Report &r) const
+{
+    for (unsigned p = 0; p < nodes.size(); ++p)
+        nodes[p]->nic->statTree().dump(r, "nic." + std::to_string(p));
+    fleetRoot.dump(r);
+}
+
+obs::json::Value
+FleetRunner::reportJson(const FleetResults &res) const
+{
+    using obs::json::Value;
+    Value doc = Value::object();
+    doc.set("schema", "tengig-fleet-v1");
+    doc.set("nodes", size());
+    doc.set("topology", topologyName(cfg.topology));
+    doc.set("threads", resolveThreads());
+    doc.set("syncWindowUs",
+            static_cast<double>(cfg.syncWindowTicks) / tickPerUs);
+    doc.set("switchLatencyUs",
+            static_cast<double>(cfg.sw.fabricLatencyTicks) / tickPerUs);
+
+    Value agg = Value::object();
+    agg.set("txUdpGbps", res.aggTxGbps);
+    agg.set("rxUdpGbps", res.aggRxGbps);
+    agg.set("totalUdpGbps", res.aggTotalGbps);
+    agg.set("errors", res.errors);
+    agg.set("framesForwarded", res.framesForwarded);
+    agg.set("framesDropped", res.framesDropped);
+    agg.set("injectRejected", res.injectRejected);
+    agg.set("switchLatencyMeanUs", res.switchLatencyMeanUs);
+    agg.set("switchLatencyP99Us", res.switchLatencyP99Us);
+    agg.set("eventsExecuted", res.eventsExecuted);
+    agg.set("eventsPerSec", res.eventsPerSec);
+    agg.set("wallSeconds", res.wallSeconds);
+    agg.set("windows", res.windows);
+    agg.set("maxConcurrentWorkers", res.maxConcurrentWorkers);
+    doc.set("aggregate", std::move(agg));
+
+    Value det = Value::object();
+    Value wh = Value::array();
+    for (std::uint64_t h : res.wireHash)
+        wh.push(hashHex(h));
+    Value ih = Value::array();
+    for (std::uint64_t h : res.injectHash)
+        ih.push(hashHex(h));
+    det.set("wireHash", std::move(wh));
+    det.set("injectHash", std::move(ih));
+    doc.set("determinism", std::move(det));
+
+    doc.set("fleet", fleetRoot.toJson());
+
+    Value nic = Value::object();
+    for (unsigned p = 0; p < nodes.size(); ++p)
+        nic.set(std::to_string(p), nodes[p]->nic->statTree().toJson());
+    doc.set("nic", std::move(nic));
+    return doc;
+}
+
+} // namespace tengig

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fleet runner: M NIC instances, one deterministic parallel run.
+ *
+ * FleetRunner owns M fully independent NicController instances (each
+ * with its own EventQueue, memories, cores, and seeded workload
+ * streams) and advances them in bounded-lag sync windows:
+ *
+ *   for each window [T, T+W]:
+ *     parallel: every instance runs its queue to T+W   (any thread)
+ *     barrier
+ *     serial:   captured transmit frames cross the switch, arrivals
+ *               are scheduled into destination queues   (coordinator)
+ *
+ * Exactness argument (DESIGN.md §15): instances share no mutable
+ * state, so within a window each one's event stream depends only on
+ * its own queue -- including previously injected arrivals.  Cross-
+ * instance influence exists only through the switch pass, which runs
+ * single-threaded over the captures sorted by (sentTick, srcPort,
+ * captureSeq) -- a total order fixed by simulated time, not by thread
+ * scheduling.  The fabric latency L >= W guarantees every computed
+ * arrival lands at or after the next window's start, so no instance
+ * ever needed a peer's frame mid-window.  Hence per-instance results,
+ * stat trees, and wire/inject hashes are byte-identical whether the
+ * fleet runs on 1 thread or N.
+ */
+
+#ifndef TENGIG_FLEET_FLEET_HH
+#define TENGIG_FLEET_FLEET_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fleet/fleet_config.hh"
+#include "fleet/switch.hh"
+#include "nic/controller.hh"
+#include "obs/json.hh"
+#include "obs/stat_registry.hh"
+
+namespace tengig {
+
+/** Results of one fleet run. */
+struct FleetResults
+{
+    /** Per-instance measured-window results, index = port. */
+    std::vector<NicResults> nic;
+
+    /// @name Determinism fingerprints (whole run, not just measured)
+    /// FNV-1a over every frame at the instance's transmit wire /
+    /// every frame injected from the switch, folding in the tick,
+    /// length, flow, and sequence.  Equal hashes across thread counts
+    /// is the fleet determinism contract.
+    /// @{
+    std::vector<std::uint64_t> wireHash;
+    std::vector<std::uint64_t> injectHash;
+    /// @}
+
+    /// @name Aggregate throughput over the measured window
+    /// @{
+    double aggTxGbps = 0.0;
+    double aggRxGbps = 0.0;
+    double aggTotalGbps = 0.0;
+    std::uint64_t errors = 0; //!< summed validation errors
+    /// @}
+
+    /// @name Switch accounting (whole run)
+    /// @{
+    std::uint64_t framesForwarded = 0;
+    std::uint64_t framesDropped = 0;   //!< at full egress FIFOs
+    std::uint64_t injectRejected = 0;  //!< arrivals the dst MAC refused
+    double switchLatencyMeanUs = 0.0;
+    double switchLatencyP99Us = 0.0;
+    /// @}
+
+    /// @name Host-simulator performance
+    /// @{
+    std::uint64_t eventsExecuted = 0; //!< summed across instances
+    double wallSeconds = 0.0;
+    double eventsPerSec = 0.0;
+    std::uint64_t windows = 0;        //!< barrier count
+    /** Peak number of workers observed simultaneously inside
+     *  instance event loops (CI asserts > 1 for threaded runs). */
+    unsigned maxConcurrentWorkers = 0;
+    /// @}
+};
+
+class FleetRunner
+{
+  public:
+    explicit FleetRunner(const FleetConfig &cfg);
+    ~FleetRunner();
+
+    FleetRunner(const FleetRunner &) = delete;
+    FleetRunner &operator=(const FleetRunner &) = delete;
+
+    /** Run warmup + measured window; callable once per runner. */
+    FleetResults run();
+
+    unsigned size() const { return static_cast<unsigned>(nodes.size()); }
+    NicController &node(unsigned i) { return *nodes[i]->nic; }
+
+    /** Switch + fleet-level stats ("switch.*"). */
+    const obs::StatGroup &fleetStats() const { return fleetRoot; }
+
+    /**
+     * Flatten the whole fleet into one report: every instance's stat
+     * tree under "nic.<port>." plus the switch subtree under
+     * "switch.".
+     */
+    void report(stats::Report &r) const;
+
+    /**
+     * Structured fleet report (tengig-fleet-v1): run parameters,
+     * aggregate metrics, the switch stat subtree, and each instance's
+     * full stat tree under nic.<port>.
+     */
+    obs::json::Value reportJson(const FleetResults &res) const;
+
+  private:
+    /** One captured transmit-wire frame awaiting the switch pass. */
+    struct Capture
+    {
+        Tick sent;
+        std::uint64_t seq; //!< per-source capture order
+        FrameData frame;
+    };
+
+    struct Node
+    {
+        std::unique_ptr<NicController> nic;
+        std::vector<Capture> outbox; //!< drained at each barrier
+        std::uint64_t captureSeq = 0;
+        std::uint64_t wireHash;
+        std::uint64_t injectHash;
+        std::uint64_t injectDropped = 0; //!< dst MAC refused arrival
+        unsigned dstPort = 0;            //!< fixed by topology
+    };
+
+    void exchange(Tick now, FleetResults &res);
+    unsigned resolveThreads() const;
+
+    FleetConfig cfg;
+    std::vector<std::unique_ptr<Node>> nodes;
+    std::unique_ptr<FleetSwitch> fabric; //!< null when topology None
+    obs::StatGroup fleetRoot;
+    std::vector<std::pair<unsigned, Capture *>> mergeScratch;
+    bool ran = false;
+};
+
+} // namespace tengig
+
+#endif // TENGIG_FLEET_FLEET_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Scale-out fleet configuration (DESIGN.md §15).
+ *
+ * A FleetConfig describes M independent NIC instances running
+ * concurrently in one process, their wires meeting at a store-and-
+ * forward switch model.  Time advances in bounded-lag sync windows of
+ * W ticks: every instance runs its own event queue to the window edge
+ * (in parallel, one instance per worker), then a single coordinator
+ * pass moves the frames captured at each transmit wire through the
+ * switch and schedules their arrivals at the destinations.  The switch
+ * fabric latency L must satisfy L >= W (the conservative-simulation
+ * lookahead), so a frame sent inside window w can only arrive in
+ * window w+1 or later -- which is why the parallel run is exact: no
+ * instance can be influenced mid-window by a peer.
+ */
+
+#ifndef TENGIG_FLEET_FLEET_CONFIG_HH
+#define TENGIG_FLEET_FLEET_CONFIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nic/nic_config.hh"
+#include "sim/types.hh"
+
+namespace tengig {
+
+/** How transmit frames are steered across the fleet switch. */
+enum class FleetTopology
+{
+    None,  //!< isolated instances: no forwarding, no switch
+    Ring,  //!< node i transmits to node (i + 1) % M
+    Pairs, //!< node i transmits to node i ^ 1 (requires even M)
+};
+
+/** Store-and-forward switch model parameters (src/fleet/switch.hh). */
+struct SwitchModelConfig
+{
+    /**
+     * Port-to-port fabric latency: a frame fully received from the
+     * source wire at t reaches the destination egress queue at
+     * t + fabricLatencyTicks.  Must be >= the fleet sync window
+     * (lookahead); FleetConfig::validate enforces it.
+     */
+    Tick fabricLatencyTicks = 10 * tickPerUs;
+
+    /** Egress serialization rate per output port. */
+    double egressGbps = 10.0;
+
+    /** Per-egress-port FIFO bound in frames; 0 = unbounded.  Frames
+     *  arriving at a full queue are dropped and counted. */
+    unsigned egressQueueFrames = 256;
+
+    void validate() const;
+};
+
+/**
+ * A complete fleet: the per-node NIC configurations plus the switch,
+ * windowing, and threading knobs.
+ */
+struct FleetConfig
+{
+    /** One NicConfig per instance; instance i is switch port i. */
+    std::vector<NicConfig> nodes;
+
+    FleetTopology topology = FleetTopology::Ring;
+
+    /**
+     * Worker threads running instances within a window; 0 = one per
+     * hardware thread.  The thread count NEVER changes results: the
+     * per-instance event streams and the barrier-time switch pass are
+     * deterministic functions of the configuration alone.
+     */
+    unsigned threads = 1;
+
+    /** Sync window W: instances run in parallel for W ticks between
+     *  coordinator barriers. */
+    Tick syncWindowTicks = 10 * tickPerUs;
+
+    SwitchModelConfig sw;
+
+    /// @name Run window (mirrors NicController::run)
+    /// @{
+    Tick warmupTicks = 2 * tickPerMs;
+    Tick measureTicks = 4 * tickPerMs;
+    /// @}
+
+    /** Root seed for per-node traffic stream derivation (uniform()). */
+    std::uint64_t fleetSeed = 0xf1ee7ULL;
+
+    void validate() const;
+
+    /**
+     * Build an M-node fleet from one template config.  Each node gets
+     * a splitmix64-derived private traffic seed per direction and --
+     * when @p forward is set -- externalWire plus a disjoint global
+     * flow-id range, so frames forwarded across the switch never
+     * collide with any destination's own flows.  Forwarding requires
+     * the template to carry an enabled txTraffic profile (legacy
+     * fixed-size transmit streams are all flow 0 and would alias at
+     * the destination validator).
+     */
+    static FleetConfig uniform(const NicConfig &base, unsigned count,
+                               bool forward = true);
+};
+
+} // namespace tengig
+
+#endif // TENGIG_FLEET_FLEET_CONFIG_HH

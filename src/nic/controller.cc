@@ -118,9 +118,11 @@ NicController::build()
             rxFlow.deliver(v);
             vnic->noteRxDelivered(v);
         });
-    } else if (cfg.rxTraffic.enabled()) {
+    } else if (rxFlowsOn()) {
         // Per-flow validation replaces the driver's single-stream
-        // sequence check in the receive direction.
+        // sequence check in the receive direction (also on externalWire
+        // runs: peer frames carry flow tags no single-stream check can
+        // order).
         driver->onRxDeliver(
             [this](const FrameView &v) { rxFlow.deliver(v); });
     }
@@ -155,24 +157,10 @@ NicController::build()
         dmaRead->attachFaults(injector.get());
         dmaWrite->attachFaults(injector.get());
     }
-    if (vnicOn()) {
-        macTx = std::make_unique<MacTx>(
-            eq, *cpuClk, *ram,
-            MacTx::Deliver([this](const FrameView &v) {
-                txFlow.deliver(v);
-                vnic->noteTxDelivered(v);
-            }),
-            sdMacTx, cfg.macTxFifoDepth);
-    } else if (cfg.txTraffic.enabled()) {
-        macTx = std::make_unique<MacTx>(
-            eq, *cpuClk, *ram,
-            MacTx::Deliver(
-                [this](const FrameView &v) { txFlow.deliver(v); }),
-            sdMacTx, cfg.macTxFifoDepth);
-    } else {
-        macTx = std::make_unique<MacTx>(eq, *cpuClk, *ram, sink, sdMacTx,
-                                        cfg.macTxFifoDepth);
-    }
+    macTx = std::make_unique<MacTx>(
+        eq, *cpuClk, *ram,
+        MacTx::Deliver([this](const FrameView &v) { txDelivered(v); }),
+        sdMacTx, cfg.macTxFifoDepth);
 
     fwState = std::make_unique<FwState>(*spad, cfg.firmware);
     tasks = std::make_unique<FwTasks>(*fwState, *dmaRead, *dmaWrite,
@@ -233,6 +221,10 @@ NicController::build()
             });
         rxEngine = engine.get();
         source = std::move(engine);
+    } else if (cfg.externalWire) {
+        // A fleet node with no local receive workload: every arrival
+        // comes from peers through injectWireFrame().
+        source = std::make_unique<IdleGenerator>();
     } else {
         source = std::make_unique<FrameSource>(
             eq, cfg.rxPayloadBytes, cfg.rxOfferedRate,
@@ -377,6 +369,30 @@ NicController::checkLiveness()
 {
     liveness.check(eq.empty(), !tasks->quiescent(),
                    [this] { return fwState->pipelineReport(); });
+}
+
+void
+NicController::txDelivered(const FrameView &v)
+{
+    // Wire-side validation first (the historical single consumer),
+    // then the external tap: the fleet switch sees exactly the frames
+    // the validator accepted responsibility for.
+    if (vnic) {
+        txFlow.deliver(v);
+        vnic->noteTxDelivered(v);
+    } else if (txFlowsOn()) {
+        txFlow.deliver(v);
+    } else {
+        sink.deliver(v);
+    }
+    if (wireTap)
+        wireTap(v);
+}
+
+bool
+NicController::injectWireFrame(FrameData &&fd)
+{
+    return rxArrived(std::move(fd));
 }
 
 bool
@@ -819,45 +835,77 @@ NicController::useRxTrace(std::istream &in)
         });
 }
 
-NicResults
-NicController::runWindow(Tick warmup, std::function<void()> on_start,
-                         Tick measure, std::function<void()> on_end)
+void
+NicController::startRun()
 {
     driver->primeReceivePool();
     driver->startBackloggedSend();
     source->start();
     startCores();
+}
+
+void
+NicController::beginMeasurement()
+{
+    // Reset core/profile stats, snapshot the delivery counters and the
+    // memory-system counters.
+    resetAllStats();
+    snap.startTick = eq.curTick();
+    snap.txFrames = txFramesNow();
+    snap.txPayload = txPayloadNow();
+    snap.rxFrames = driver->rxFramesDelivered();
+    snap.rxPayload = rxPayloadNow();
+    snap.spadAccesses = spad->totalAccesses();
+    snap.ramBytes = ram->transferredBytes();
+    snap.imemBytes = imem->bytesTransferred();
+}
+
+NicResults
+NicController::endMeasurement()
+{
+    Tick measured = eq.curTick() - snap.startTick;
+    NicResults r = collect(measured, snap.txFrames, snap.txPayload,
+                           snap.rxFrames, snap.rxPayload);
+    double secs = static_cast<double>(measured) / tickPerSec;
+    if (secs > 0) {
+        r.spadGbps = (spad->totalAccesses() - snap.spadAccesses) *
+            32.0 / secs / 1e9;
+        r.sdramGbps = (ram->transferredBytes() - snap.ramBytes) * 8.0 /
+            secs / 1e9;
+        r.imemGbps = (imem->bytesTransferred() - snap.imemBytes) * 8.0 /
+            secs / 1e9;
+        r.imemUtilization = r.imemGbps / imem->peakBandwidthGbps();
+    }
+    return r;
+}
+
+void
+NicController::stopRun()
+{
+    source->stop();
+    stopCores();
+}
+
+NicResults
+NicController::runWindow(Tick warmup, std::function<void()> on_start,
+                         Tick measure, std::function<void()> on_end)
+{
+    startRun();
 
     eq.runUntil(warmup);
     checkLiveness();
     if (on_start)
         on_start();
 
-    // Measurement window: reset core/profile stats, snapshot the
-    // delivery counters and the memory-system counters.
-    resetAllStats();
-    std::uint64_t tx0f = txFramesNow();
-    std::uint64_t tx0p = txPayloadNow();
-    std::uint64_t rx0f = driver->rxFramesDelivered();
-    std::uint64_t rx0p = rxPayloadNow();
-    std::uint64_t spad0 = spad->totalAccesses();
-    std::uint64_t ram0 = ram->transferredBytes();
-    std::uint64_t imem0 = imem->bytesTransferred();
+    beginMeasurement();
 
     eq.runUntil(warmup + measure);
     checkLiveness();
     if (on_end)
         on_end();
 
-    NicResults r = collect(measure, tx0f, tx0p, rx0f, rx0p);
-    double secs = static_cast<double>(measure) / tickPerSec;
-    r.spadGbps = (spad->totalAccesses() - spad0) * 32.0 / secs / 1e9;
-    r.sdramGbps = (ram->transferredBytes() - ram0) * 8.0 / secs / 1e9;
-    r.imemGbps = (imem->bytesTransferred() - imem0) * 8.0 / secs / 1e9;
-    r.imemUtilization = r.imemGbps / imem->peakBandwidthGbps();
-
-    source->stop();
-    stopCores();
+    NicResults r = endMeasurement();
+    stopRun();
     return r;
 }
 

@@ -115,6 +115,50 @@ class NicController
     NicResults runWindow(Tick warmup, std::function<void()> on_start,
                          Tick measure, std::function<void()> on_end);
 
+    /// @name Phase API for external drivers (src/fleet)
+    /// run()/runWindow() are built from these; a fleet runner drives
+    /// many instances' event queues itself in bounded-lag windows, so
+    /// it needs the run lifecycle broken into explicit phases:
+    /// startRun(), then eq.runUntil(...) as it pleases, then
+    /// beginMeasurement() at the window edge, more runUntil, and
+    /// finally endMeasurement() + stopRun().
+    /// @{
+    /** Prime the driver, start the workload sources and the cores. */
+    void startRun();
+
+    /** Open the measurement window at the current tick: reset
+     *  core/profile stats and snapshot the delivery counters. */
+    void beginMeasurement();
+
+    /** Close the measurement window: collect results over the span
+     *  since beginMeasurement(). */
+    NicResults endMeasurement();
+
+    /** Stop the workload sources and the cores. */
+    void stopRun();
+
+    /** Fatal-if-hung check: event queue drained with frames in
+     *  flight.  External drivers call this at their window barriers. */
+    void checkLiveness();
+    /// @}
+
+    /// @name External wire (fleet switch) attachment
+    /// @{
+    /**
+     * A frame arrived from the external wire (a peer NIC through the
+     * fleet switch).  Identical fate to a generated arrival: wire
+     * faults may damage it and the receive MAC decides admission.
+     * @retval false if the NIC had to drop it.
+     */
+    bool injectWireFrame(FrameData &&fd);
+
+    /** Wire-side observer of every transmitted frame, fired after the
+     *  local validator.  The fleet switch captures frames here for
+     *  forwarding; null (the default) costs one branch per frame. */
+    using WireTap = std::function<void(const FrameView &)>;
+    void setWireTap(WireTap tap) { wireTap = std::move(tap); }
+    /// @}
+
     /**
      * Fill a flat stats report covering every component: cores (per
      * core and totals), firmware profile buckets, memory system,
@@ -189,6 +233,7 @@ class NicController
     void build();
     void registerAllStats();
     bool rxArrived(FrameData &&fd);
+    void txDelivered(const FrameView &v);
     void scheduleOccupancySample();
     void occupancySample();
     void wakeCores();
@@ -217,9 +262,6 @@ class NicController
     void doorbellRetry(DoorbellChannel &ch, bool send);
     /// @}
 
-    /** Fatal-if-hung check: event queue drained with frames in flight. */
-    void checkLiveness();
-
     /// @name Mode-independent delivery counters (legacy vs per-flow)
     /// @{
     std::uint64_t txFramesNow() const;
@@ -238,7 +280,8 @@ class NicController
     }
     bool rxFlowsOn() const
     {
-        return cfg.rxTraffic.enabled() || vnicOn();
+        return cfg.rxTraffic.enabled() || vnicOn() ||
+               cfg.externalWire;
     }
     /// @}
 
@@ -278,6 +321,23 @@ class NicController
     Addr rxBufSdram = 0;
 
     obs::StatGroup statRoot;
+
+    /** External wire observer (fleet switch egress capture). */
+    WireTap wireTap;
+
+    /** Counter snapshots taken by beginMeasurement(). */
+    struct MeasureSnapshot
+    {
+        Tick startTick = 0;
+        std::uint64_t txFrames = 0;
+        std::uint64_t txPayload = 0;
+        std::uint64_t rxFrames = 0;
+        std::uint64_t rxPayload = 0;
+        std::uint64_t spadAccesses = 0;
+        std::uint64_t ramBytes = 0;
+        std::uint64_t imemBytes = 0;
+    };
+    MeasureSnapshot snap;
 
     /// @name Receive-latency bookkeeping (wire arrival -> delivery)
     /// @{

@@ -96,6 +96,21 @@ struct NicConfig
     /// @}
 
     /**
+     * Scale-out fleet participation (src/fleet, DESIGN.md §15).  When
+     * set, this NIC's wire is connected to an external peer (the fleet
+     * switch) instead of being a closed loop: frames may arrive that
+     * no local generator produced, so the receive direction always
+     * validates per-flow (lossy contract), and with no local rxTraffic
+     * configured the controller installs an idle generator instead of
+     * the legacy fixed-size FrameSource.  The transmit stream is still
+     * validated locally (lossless, per-flow) and additionally handed
+     * to the wire tap (setWireTap) for forwarding.  Off by default:
+     * single-NIC runs are bit-identical to a build without the fleet
+     * subsystem.
+     */
+    bool externalWire = false;
+
+    /**
      * SR-IOV-style virtualization (src/vnic, DESIGN.md §13).  Each
      * entry is one virtual function with its own traffic profiles,
      * DRR weight, rate contracts, and tenant-private fault plan; the

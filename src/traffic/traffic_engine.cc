@@ -31,8 +31,8 @@ TrafficEngine::TrafficEngine(EventQueue &eq_,
             continue; // a zero-weight flow never sends
         double mean_gap = total_w / (frames_per_tick * f.weight);
         flows.push_back(std::make_unique<Flow>(
-            static_cast<std::uint32_t>(i), f, mean_gap, profile.seed,
-            static_cast<unsigned>(i),
+            profile.flowIdBase + static_cast<std::uint32_t>(i), f,
+            mean_gap, profile.seed, static_cast<unsigned>(i),
             static_cast<unsigned>(profile.flows.size())));
     }
 }
@@ -121,7 +121,7 @@ TrafficEngine::registerStats(obs::StatGroup &g) const
 }
 
 TxSchedule::TxSchedule(const TrafficProfile &profile)
-    : pick(profile.seed ^ 0x7c5edu)
+    : pick(profile.seed ^ 0x7c5edu), flowIdBase(profile.flowIdBase)
 {
     profile.validate();
     double acc = 0;
@@ -146,7 +146,8 @@ TxSchedule::frameSpec(std::uint64_t index)
     std::size_t i = static_cast<std::size_t>(it - cumShare.begin());
     if (i >= sizes.size())
         i = sizes.size() - 1;
-    return {static_cast<std::uint32_t>(i), sizes[i].sample()};
+    return {flowIdBase + static_cast<std::uint32_t>(i),
+            sizes[i].sample()};
 }
 
 } // namespace tengig

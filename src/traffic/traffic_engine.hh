@@ -109,6 +109,7 @@ class TxSchedule
     std::vector<double> cumShare;
     std::vector<SizeSampler> sizes;
     Rng pick;
+    std::uint32_t flowIdBase;
     std::uint64_t nextIndex = 0;
 };
 

@@ -166,6 +166,10 @@ TrafficProfile::validate() const
     fatal_if(flows.empty(), "traffic profile with no flows");
     fatal_if(flows.size() > maxFlowId + 1,
              "too many flows for 16-bit flow ids: ", flows.size());
+    fatal_if(flowIdBase + flows.size() > maxFlowId + 1,
+             "flow id range [", flowIdBase, ", ",
+             flowIdBase + flows.size(),
+             ") exceeds the 16-bit flow id space");
     fatal_if(offeredRate <= 0.0 || offeredRate > 1.0,
              "offered rate must be in (0, 1], got ", offeredRate);
     double total = 0;

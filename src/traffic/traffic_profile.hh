@@ -112,6 +112,16 @@ struct TrafficProfile
     double offeredRate = 1.0; //!< aggregate load, fraction of line rate
     std::uint64_t seed = 0x1005e7a91ULL;
 
+    /**
+     * First global flow id this profile's flows occupy: flow i of the
+     * profile is tagged flowIdBase + i in every frame's integrity
+     * header.  Multi-NIC (fleet) runs give each instance a disjoint
+     * range so frames forwarded across the switch never collide with
+     * the destination's own flows; 0 (the default) reproduces the
+     * historical single-NIC numbering exactly.
+     */
+    std::uint32_t flowIdBase = 0;
+
     /** An empty profile means "use the legacy fixed-size knobs". */
     bool enabled() const { return !flows.empty(); }
 

@@ -75,6 +75,9 @@ struct VfConfig
         fatal_if(burstBytes == 0, "vf burstBytes must be nonzero");
         fatal_if(!txTraffic.enabled() && !rxTraffic.enabled(),
                  "vf needs a tx or rx traffic profile");
+        fatal_if(txTraffic.flowIdBase != 0 || rxTraffic.flowIdBase != 0,
+                 "vf profiles use mux-assigned flow ranges; "
+                 "flowIdBase must stay 0");
         if (txTraffic.enabled())
             txTraffic.validate();
         if (rxTraffic.enabled())

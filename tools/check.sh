@@ -12,8 +12,17 @@
 #   tools/check.sh --vf       # build + run the VF isolation soak (the
 #                             # vnic blast-radius contracts; nonzero
 #                             # exit on any violation)
+#   tools/check.sh --fleet    # fleet smoke: run the fleet unit/
+#                             # determinism suite, then the quick fleet
+#                             # soak (scaling + thread-count
+#                             # determinism contracts; nonzero exit on
+#                             # any violation)
 #   TENGIG_SANITIZE=ON tools/check.sh
 #                             # ASan+UBSan build in a separate tree
+#   TENGIG_TSAN=ON tools/check.sh --fleet
+#                             # ThreadSanitizer build in a separate
+#                             # tree (the fleet worker pool is the only
+#                             # multithreaded simulation path)
 #
 # Extra arguments after --quick are passed through to ctest
 # (e.g. tools/check.sh -R Traffic).
@@ -45,16 +54,21 @@ set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 sanitize=${TENGIG_SANITIZE:-OFF}
+tsan=${TENGIG_TSAN:-OFF}
 
 build="$repo/build"
 if [ "$sanitize" = "ON" ]; then
     build="$repo/build-asan"
 fi
+if [ "$tsan" = "ON" ]; then
+    build="$repo/build-tsan"
+fi
 
 if [ "${1:-}" = "--bench" ]; then
     # Simulator-speed gate; see the header contract.  Build the
     # working-tree candidate first.
-    cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize"
+    cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize" \
+        -DTENGIG_TSAN="$tsan"
     cmake --build "$build" -j"$(nproc)" --target sim_speed \
         --target test_opcache_equiv
 
@@ -86,7 +100,7 @@ if [ "${1:-}" = "--bench" ]; then
             mkdir -p "$refdir/src"
             git -C "$repo" archive "$head_commit" | tar -x -C "$refdir/src"
             cmake -B "$refdir/build" -S "$refdir/src" \
-                -DTENGIG_SANITIZE="$sanitize"
+                -DTENGIG_SANITIZE="$sanitize" -DTENGIG_TSAN="$tsan"
             cmake --build "$refdir/build" -j"$(nproc)" --target sim_speed
             printf '%s\n' "$head_commit" > "$refdir/.ref-commit"
         fi
@@ -161,7 +175,8 @@ if [ "${1:-}" = "--faults" ]; then
     # Fault-injection soak: the bench itself asserts the degradation
     # contracts (zero corrupted payloads, full fault accounting, >= 95%
     # post-storm recovery) and exits nonzero on any violation.
-    cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize"
+    cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize" \
+        -DTENGIG_TSAN="$tsan"
     cmake --build "$build" -j"$(nproc)" --target fault_storm
     exec "$build/bench/fault_storm" "--json=$build/BENCH_fault_storm.json"
 fi
@@ -171,9 +186,22 @@ if [ "${1:-}" = "--vf" ]; then
     # (victim >= 95% of solo under a neighbor storm, weighted shares
     # within 5%, per-tenant fault accounting exact) and exits nonzero
     # on any violation.
-    cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize"
+    cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize" \
+        -DTENGIG_TSAN="$tsan"
     cmake --build "$build" -j"$(nproc)" --target vf_isolation
     exec "$build/bench/vf_isolation" "--json=$build/BENCH_vf_isolation.json"
+fi
+
+if [ "${1:-}" = "--fleet" ]; then
+    # Fleet smoke: the unit/determinism suite first (switch model,
+    # config validation, bit-identical results across thread counts),
+    # then the quick soak, which asserts the scaling and 1-vs-4-thread
+    # determinism contracts itself and exits nonzero on any violation.
+    cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize" \
+        -DTENGIG_TSAN="$tsan"
+    cmake --build "$build" -j"$(nproc)" --target test_fleet --target fleet
+    "$build/tests/test_fleet"
+    exec "$build/bench/fleet" --quick "--json=$build/BENCH_fleet.smoke.json"
 fi
 
 ctest_args="--output-on-failure -j$(nproc)"
@@ -182,7 +210,8 @@ if [ "${1:-}" = "--quick" ]; then
     ctest_args="$ctest_args -L quick"
 fi
 
-cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize"
+cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize" \
+        -DTENGIG_TSAN="$tsan"
 cmake --build "$build" -j"$(nproc)"
 cd "$build"
 # shellcheck disable=SC2086
