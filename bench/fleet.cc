@@ -164,6 +164,10 @@ main(int argc, char **argv)
                     r.switchLatencyP99Us,
                     static_cast<unsigned long long>(r.errors));
         check(r.errors == 0, "validation errors in fleet row");
+        // Delivery ledger: every offered frame must be forwarded or
+        // accounted to a loss class; silent loss fails the soak.
+        check(r.unaccountedLoss == 0,
+              "unaccounted cross-node frame loss (ledger broken)");
         report.addRow(name, rowConfig(fc), rowMetrics(r, eff));
         return r;
     };

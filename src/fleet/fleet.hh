@@ -28,11 +28,14 @@
 #ifndef TENGIG_FLEET_FLEET_HH
 #define TENGIG_FLEET_FLEET_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "fleet/fleet_config.hh"
+#include "fleet/health.hh"
+#include "fleet/reliable.hh"
 #include "fleet/switch.hh"
 #include "nic/controller.hh"
 #include "obs/json.hh"
@@ -82,6 +85,53 @@ struct FleetResults
     /** Peak number of workers observed simultaneously inside
      *  instance event loops (CI asserts > 1 for threaded runs). */
     unsigned maxConcurrentWorkers = 0;
+    /// @}
+
+    /// @name Fabric fault-domain accounting (whole run; all zero when
+    /// chaos is disabled, except the ledger fields marked otherwise)
+    /// @{
+    /** Frames offered to the fabric, including retransmissions.
+     *  Nonzero on any forwarding run. */
+    std::uint64_t fabricOffered = 0;
+    std::uint64_t fabricLinkDownKills = 0; //!< lost to flap down windows
+    std::uint64_t fabricDrops = 0;         //!< injected mid-fabric drops
+    std::uint64_t fabricCorrupt = 0;       //!< injected corruptions
+    std::uint64_t fabricAckLost = 0;       //!< injected ack losses
+    std::uint64_t linkDownTicks = 0;       //!< summed over links
+    std::uint64_t nodeStallEpisodes = 0;   //!< induced core freezes
+    std::uint64_t heartbeatMisses = 0;     //!< health-monitor detections
+    std::uint64_t corruptDiscarded = 0;    //!< CRC discards at link ports
+
+    /** Delivery-ledger residue: offered frames not accounted for by
+     *  forwarded + switch drops + injected fabric losses.  Always
+     *  exactly 0; the benches exit nonzero otherwise. */
+    std::uint64_t unaccountedLoss = 0;
+
+    /** Forwarded arrivals scheduled but not yet executed when the run
+     *  ended (sent in the final window; not lost, just in flight). */
+    std::uint64_t arrivalsInFlight = 0;
+
+    /** Cross-node frames actually injected into destination NICs. */
+    std::uint64_t crossDelivered = 0;
+    /// @}
+
+    /// @name Reliable delivery (all zero when disabled)
+    /// @{
+    std::uint64_t reliableAcked = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t backoffTicks = 0;
+    /** Exact injected==recovered accounting, per fault class. */
+    std::array<std::uint64_t, fabricFaultClassCount> recoveredByClass{};
+    std::uint64_t recoveredTotal = 0;
+    std::uint64_t dupSuppressed = 0;
+    std::uint64_t rxRefusals = 0; //!< MAC-refused injections (backpressure)
+    std::uint64_t rxRetries = 0;  //!< receiver re-injection attempts
+    std::uint64_t rxBuffered = 0; //!< frames parked in reorder buffers
+    std::uint64_t reliablePending = 0; //!< tracked, not yet acked
+    /** Pending frames first sent before the storm ended -- the
+     *  post-storm recovery contract requires this to be 0. */
+    std::uint64_t reliablePendingStormEra = 0;
+    std::uint64_t reliableOwedOutstanding = 0; //!< lost, not yet repaid
     /// @}
 };
 
@@ -133,16 +183,42 @@ class FleetRunner
         std::uint64_t captureSeq = 0;
         std::uint64_t wireHash;
         std::uint64_t injectHash;
-        std::uint64_t injectDropped = 0; //!< dst MAC refused arrival
-        unsigned dstPort = 0;            //!< fixed by topology
+        std::uint64_t injectDropped = 0;   //!< dst MAC refused arrival
+        std::uint64_t injectDelivered = 0; //!< dst MAC accepted arrival
+        std::uint64_t corruptDiscards = 0; //!< link-port CRC discards
+        std::uint64_t receiptsRun = 0;     //!< receipt events executed
+        unsigned dstPort = 0;              //!< fixed by topology
+        /** Reliable-delivery receive half; null when disabled. */
+        std::unique_ptr<ReliableReceiver> rrx;
     };
 
     void exchange(Tick now, FleetResults &res);
+
+    /**
+     * One delivery attempt: run the fabric fault gauntlet, forward
+     * through the switch, schedule the destination receipt, and (when
+     * reliable delivery is on) resolve the attempt's outcome on record
+     * @p rec_id -- an owed fault class or an in-flight ack.  @p rec_id
+     * 0 means untracked (reliable delivery off).
+     */
+    void offerFrame(unsigned src, Tick sent, FrameData &&frame, Tick now,
+                    std::uint64_t rec_id);
+
     unsigned resolveThreads() const;
 
     FleetConfig cfg;
     std::vector<std::unique_ptr<Node>> nodes;
     std::unique_ptr<FleetSwitch> fabric; //!< null when topology None
+    /// @name Fault-domain components (null when their config is off,
+    /// so default fleets carry no chaos state at all -- structural
+    /// absence, same discipline as src/fault)
+    /// @{
+    std::unique_ptr<FabricFaultInjector> chaos;
+    std::unique_ptr<ReliableSender> relay;
+    std::unique_ptr<FleetHealthMonitor> health;
+    /// @}
+    Tick rto = 0;               //!< resolved retransmit timeout
+    std::uint64_t offered = 0;  //!< fabric offers incl. retransmits
     obs::StatGroup fleetRoot;
     std::vector<std::pair<unsigned, Capture *>> mergeScratch;
     bool ran = false;

@@ -1,12 +1,33 @@
 #include "fleet/fleet_config.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "net/frame.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 
 namespace tengig {
+
+Tick
+SwitchModelConfig::egressByteTicks() const
+{
+    return static_cast<Tick>(std::llround(byteTime10G * 10.0 / egressGbps));
+}
+
+Tick
+FleetConfig::minRetransmitTimeout() const
+{
+    fatal_if(sw.egressQueueFrames == 0,
+             "reliable delivery needs a bounded egress FIFO "
+             "(egressQueueFrames > 0) to bound the worst-case RTT");
+    Tick maxWire = static_cast<Tick>(wireBytesForFrame(ethMaxFrameBytes)) *
+                   sw.egressByteTicks();
+    return 2 * sw.fabricLatencyTicks +
+           static_cast<Tick>(sw.egressQueueFrames) * maxWire + maxWire +
+           syncWindowTicks;
+}
 
 void
 FleetConfig::validate() const
@@ -15,6 +36,37 @@ FleetConfig::validate() const
     fatal_if(syncWindowTicks == 0, "fleet sync window must be nonzero");
     fatal_if(measureTicks == 0, "fleet measure window must be nonzero");
     sw.validate();
+    fabricFaults.validate();
+
+    fatal_if(fabricFaults.enabled() && topology == FleetTopology::None,
+             "fabric faults need a forwarding topology (there is no "
+             "fabric to fault on isolated instances)");
+    fatal_if(reliable.enabled && topology == FleetTopology::None,
+             "reliable delivery needs a forwarding topology");
+    if (reliable.enabled) {
+        fatal_if(reliable.rxRetryTicks == 0,
+                 "reliable delivery needs a nonzero receiver retry period");
+        Tick floor = minRetransmitTimeout();
+        fatal_if(reliable.retransmitTimeout != 0 &&
+                 reliable.retransmitTimeout < floor,
+                 "reliable retransmit timeout ", reliable.retransmitTimeout,
+                 " is below the worst-case RTT bound ", floor,
+                 ": spurious retransmissions would break the "
+                 "injected==recovered accounting (0 derives the bound)");
+        for (std::size_t i = 0; i < nodes.size(); ++i)
+            fatal_if(nodes[i].txPaceRate <= 0.0,
+                     "reliable delivery requires paced transmit "
+                     "posting (node ", i, " has txPaceRate 0): a "
+                     "wire-saturating source leaves the fabric no "
+                     "headroom to drain retransmissions, and the "
+                     "end-of-run drain phase needs a quiescable "
+                     "source");
+    }
+    if (fabricFaults.nodeStallRate > 0.0)
+        for (std::size_t i = 0; i < nodes.size(); ++i)
+            fatal_if(nodes[i].idleSleep, "node-stall chaos cannot freeze "
+                     "idle-sleeping cores (node ", i,
+                     "): disable idleSleep on fleet chaos nodes");
 
     if (topology == FleetTopology::None)
         return;
@@ -87,6 +139,14 @@ FleetConfig::uniform(const NicConfig &base, unsigned count, bool forward)
             n.txTraffic.seed = splitmix64(sm);
         if (n.rxTraffic.enabled())
             n.rxTraffic.seed = splitmix64(sm);
+        // Per-node fault streams: FaultClock derives a site's stream
+        // from (plan seed, site id), so identically-configured nodes
+        // sharing the template's seed would roll IDENTICAL fault
+        // sequences at every site -- correlated "independent" faults
+        // across the fleet.  Each node's plan seed therefore comes
+        // from its own splitmix64 chain.  Harmless when faults are
+        // disabled (the seed is never read).
+        n.faults.seed = splitmix64(sm);
         if (forward) {
             n.externalWire = true;
             n.txTraffic.flowIdBase = nextBase;

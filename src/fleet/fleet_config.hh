@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fabric.hh"
 #include "nic/nic_config.hh"
 #include "sim/types.hh"
 
@@ -49,10 +50,63 @@ struct SwitchModelConfig
     double egressGbps = 10.0;
 
     /** Per-egress-port FIFO bound in frames; 0 = unbounded.  Frames
-     *  arriving at a full queue are dropped and counted. */
+     *  arriving at a full queue are dropped and counted (per port as
+     *  `switch.egress<i>.drops`). */
     unsigned egressQueueFrames = 256;
 
+    /** Egress serialization time per on-wire byte at egressGbps. */
+    Tick egressByteTicks() const;
+
     void validate() const;
+};
+
+/**
+ * End-to-end reliable delivery for cross-node traffic (DESIGN.md
+ * §16).  The sender (the fleet coordinator) keeps every offered frame
+ * until its ack returns, retransmitting on timeout with bounded
+ * exponential backoff -- the PR 5 doorbell-retry discipline applied
+ * to the fabric; the receiver suppresses duplicates and injects
+ * frames in per-flow sequence order, treating a MAC refusal as
+ * backpressure to retry locally.  Off by default: the fleet then
+ * carries no protocol state and runs bit-identical to a build without
+ * the subsystem.
+ */
+struct ReliableDeliveryConfig
+{
+    bool enabled = false;
+
+    /**
+     * Retransmit timeout base.  0 (the default) derives the minimum
+     * safe value from the switch model -- see
+     * FleetConfig::minRetransmitTimeout(); an explicit value below
+     * that minimum is rejected by validate(), because a timeout under
+     * the worst-case RTT would retransmit frames that were never
+     * lost and break the injected==recovered accounting.
+     */
+    Tick retransmitTimeout = 0;
+
+    /** Cap on timeout doublings (mirrors FaultPlan::doorbellBackoffMax). */
+    unsigned backoffMax = 6;
+
+    /**
+     * Retransmission window: at most this many retransmissions per
+     * destination link per sync barrier (0 = unbounded).  Losses
+     * cluster -- every frame killed by one flap down window shares a
+     * deadline -- so unbounded retransmission fires synchronized
+     * bursts that overflow the egress FIFO, get re-owed as EgressFull,
+     * and re-synchronize at the next backoff.  The window spreads the
+     * recovery backlog across barriers instead; deferred records stay
+     * due and go out at the following barrier.
+     */
+    unsigned retransmitWindow = 2;
+
+    /** Receiver-side re-injection period after a MAC refusal.  A
+     *  refusal means the MAC's store pipeline or buffer pool is
+     *  momentarily full; both free on a frame-store timescale, so the
+     *  retry period must stay near one max-frame wire time -- a lazy
+     *  cadence drains reorder buffers slower than frames arrive and
+     *  the backlog never catches up after a storm. */
+    Tick rxRetryTicks = tickPerUs;
 };
 
 /**
@@ -80,6 +134,25 @@ struct FleetConfig
 
     SwitchModelConfig sw;
 
+    /**
+     * Fabric fault domain (src/fault/fabric.hh): link flaps, per-
+     * egress corruption/drop, node-stall episodes.  Disabled by
+     * default (all rates zero): the chaos injector is then never
+     * constructed and fleet runs are bit-identical to a build without
+     * the subsystem.  Requires a forwarding topology when enabled.
+     */
+    FabricFaultPlan fabricFaults;
+
+    /** End-to-end reliable delivery for cross-node traffic. */
+    ReliableDeliveryConfig reliable;
+
+    /**
+     * Build the barrier-sampled fleet health monitor (per-node
+     * heartbeats + fatal-on-wedge naming node and link) even without
+     * fabric faults.  Always on when fabricFaults is enabled.
+     */
+    bool healthMonitor = false;
+
     /// @name Run window (mirrors NicController::run)
     /// @{
     Tick warmupTicks = 2 * tickPerMs;
@@ -90,6 +163,15 @@ struct FleetConfig
     std::uint64_t fleetSeed = 0xf1ee7ULL;
 
     void validate() const;
+
+    /**
+     * Smallest retransmit timeout that can never fire before an ack
+     * from a frame that was actually delivered: fabric latency both
+     * ways, plus a full egress FIFO of max-size frames ahead of the
+     * data frame, plus its own serialization, plus one sync window of
+     * barrier quantization.  Requires a bounded egress FIFO.
+     */
+    Tick minRetransmitTimeout() const;
 
     /**
      * Build an M-node fleet from one template config.  Each node gets

@@ -19,8 +19,7 @@ SwitchModelConfig::validate() const
 
 FleetSwitch::FleetSwitch(const SwitchModelConfig &cfg, unsigned n_ports)
     : cfg(cfg),
-      egressByteTicks(static_cast<Tick>(
-          std::llround(byteTime10G * 10.0 / cfg.egressGbps))),
+      egressByteTicks(cfg.egressByteTicks()),
       ports(n_ports)
 {
     cfg.validate();
@@ -58,6 +57,7 @@ FleetSwitch::forward(unsigned src_port, unsigned dst_port, Tick sent_tick,
     std::size_t occupancy = out.departures.size() - out.head;
     if (cfg.egressQueueFrames && occupancy >= cfg.egressQueueFrames) {
         ++dropped;
+        ++out.drops;
         return std::nullopt;
     }
 
@@ -85,6 +85,14 @@ FleetSwitch::portFramesOut(unsigned dst_port) const
     return ports[dst_port].framesOut.value();
 }
 
+std::uint64_t
+FleetSwitch::portDrops(unsigned dst_port) const
+{
+    fatal_if(dst_port >= ports.size(), "switch port out of range: ",
+             dst_port);
+    return ports[dst_port].drops.value();
+}
+
 void
 FleetSwitch::registerStats(obs::StatGroup &g)
 {
@@ -93,10 +101,17 @@ FleetSwitch::registerStats(obs::StatGroup &g)
     g.add("forwardedBytes", fwdBytes, "on-wire bytes forwarded");
     g.add("latencyTicks", latHist,
           "switch transit latency (send -> destination arrival)");
-    for (std::size_t p = 0; p < ports.size(); ++p)
+    for (std::size_t p = 0; p < ports.size(); ++p) {
         g.group("port" + std::to_string(p))
             .add("framesOut", ports[p].framesOut,
                  "frames sent out this egress port");
+        // Drop-on-full must feed the delivery ledger, not vanish: the
+        // fleet runner folds these into its loss accounting and the
+        // benches fail loudly on any unaccounted frame.
+        g.group("egress" + std::to_string(p))
+            .add("drops", ports[p].drops,
+                 "frames dropped at this port's full egress FIFO");
+    }
 }
 
 } // namespace tengig

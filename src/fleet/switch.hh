@@ -61,6 +61,10 @@ class FleetSwitch
     const stats::Histogram &latencyHistogram() const { return latHist; }
 
     std::uint64_t portFramesOut(unsigned dst_port) const;
+
+    /** Frames dropped at @p dst_port's full egress FIFO (the
+     *  `switch.egress<i>.drops` surface). */
+    std::uint64_t portDrops(unsigned dst_port) const;
     /// @}
 
     /** Register counters into @p g (owner's "switch" subtree). */
@@ -77,6 +81,7 @@ class FleetSwitch
         std::vector<Tick> departures;
         std::size_t head = 0; //!< departed prefix of `departures`
         stats::Counter framesOut;
+        stats::Counter drops; //!< frames refused by this full FIFO
     };
     std::vector<Port> ports;
 

@@ -1,5 +1,6 @@
 #include "controller.hh"
 
+#include <cmath>
 #include "firmware/calibration.hh"
 #include "firmware/event_register.hh"
 
@@ -105,10 +106,48 @@ NicController::build()
         };
     } else if (cfg.txTraffic.enabled()) {
         txSched = std::make_unique<TxSchedule>(cfg.txTraffic);
-        dc.txFrameSpec = [this](std::uint64_t i) {
-            return txSched->frameSpec(i);
-        };
+        if (cfg.txPaceRate > 0.0) {
+            fatal_if(cfg.txPaceRate > 1.0, "txPaceRate must be a "
+                     "fraction of line rate in (0, 1], got ",
+                     cfg.txPaceRate);
+            // Pull-mode metered posting: a frame becomes eligible only
+            // when its wire time at the paced rate has elapsed since
+            // the previous one.  No credit accumulates while posting
+            // is stalled (e.g. a frozen firmware), so recovery after a
+            // stall resumes at the paced rate instead of bursting.
+            dc.txFrameNext = [this](std::uint64_t seq)
+                -> std::optional<std::pair<std::uint32_t, unsigned>> {
+                if (txQuiesced)
+                    return std::nullopt;
+                Tick now = eq.curTick();
+                if (now < txPaceNext) {
+                    if (!txPaceArmed) {
+                        txPaceArmed = true;
+                        eq.schedule(txPaceNext, [this] {
+                            txPaceArmed = false;
+                            driver->resumeSend();
+                        });
+                    }
+                    return std::nullopt;
+                }
+                auto spec = txSched->frameSpec(seq);
+                Tick wire =
+                    wireTimeForFrame(frameBytesForPayload(spec.second));
+                txPaceNext = (txPaceNext > now ? txPaceNext : now) +
+                    static_cast<Tick>(
+                        std::llround(wire / cfg.txPaceRate));
+                return spec;
+            };
+        } else {
+            dc.txFrameSpec = [this](std::uint64_t i) {
+                return txSched->frameSpec(i);
+            };
+        }
     }
+    fatal_if(cfg.txPaceRate > 0.0 &&
+             (vnicOn() || !cfg.txTraffic.enabled()),
+             "txPaceRate requires a txTraffic profile (vnic runs pace "
+             "through per-VF admission buckets instead)");
     driver = std::make_unique<DeviceDriver>(*hostMem, dc);
     if (vnicOn()) {
         // Throttled posting resumes when a bucket refills or a lost
@@ -694,6 +733,50 @@ NicController::stopCores()
         c->stop();
     if (fwWatchdog)
         fwWatchdog->disarm();
+}
+
+void
+NicController::freezeCores()
+{
+    for (auto &c : cores)
+        c->stop();
+}
+
+void
+NicController::thawCores()
+{
+    for (auto &c : cores)
+        c->start();
+}
+
+void
+NicController::quiesceTx()
+{
+    fatal_if(cfg.txPaceRate <= 0.0,
+             "quiesceTx needs paced posting (cfg.txPaceRate): a "
+             "backlogged send ring cannot be stopped cleanly");
+    txQuiesced = true;
+}
+
+Tick
+NicController::lastFirmwareRetireTick() const
+{
+    Tick t = 0;
+    for (const auto &c : cores)
+        t = std::max(t, c->lastRetireTick());
+    return t;
+}
+
+bool
+NicController::pipelineBusy() const
+{
+    return !tasks->quiescent();
+}
+
+std::string
+NicController::pipelineReport() const
+{
+    return fwState->pipelineReport();
 }
 
 void

@@ -142,6 +142,37 @@ class NicController
     void checkLiveness();
     /// @}
 
+    /// @name Fleet chaos and health probes (src/fleet)
+    /// @{
+    /**
+     * Freeze every firmware core mid-run: an induced node-stall
+     * episode.  Unlike stopRun()'s orderly stopCores(), the firmware
+     * watchdog stays armed, so the freeze is *detected* (stall
+     * episodes, pipeline dump) rather than masked.
+     */
+    void freezeCores();
+
+    /** Resume frozen cores at the next clock edge. */
+    void thawCores();
+
+    /** Most recent real firmware retirement across all cores -- the
+     *  node's heartbeat, sampled by the fleet health monitor. */
+    Tick lastFirmwareRetireTick() const;
+
+    /** True while the firmware pipeline has work outstanding. */
+    bool pipelineBusy() const;
+
+    /** Pipeline state dump for health diagnostics. */
+    std::string pipelineReport() const;
+
+    /**
+     * Permanently stop paced transmit posting (cfg.txPaceRate): the
+     * fleet drain phase quiesces sources so in-flight reliable
+     * deliveries can settle against a finite workload.
+     */
+    void quiesceTx();
+    /// @}
+
     /// @name External wire (fleet switch) attachment
     /// @{
     /**
@@ -303,6 +334,9 @@ class NicController
     std::unique_ptr<FrameGenerator> source;
     TrafficEngine *rxEngine = nullptr; //!< source, when rxTraffic is on
     std::unique_ptr<TxSchedule> txSched;
+    Tick txPaceNext = 0;      //!< earliest paced-tx posting tick
+    bool txPaceArmed = false; //!< a resumeSend wakeup is scheduled
+    bool txQuiesced = false;  //!< paced posting stopped for good
 
     std::unique_ptr<DmaAssist> dmaRead;
     std::unique_ptr<DmaAssist> dmaWrite;

@@ -17,6 +17,13 @@
 #                             # soak (scaling + thread-count
 #                             # determinism contracts; nonzero exit on
 #                             # any violation)
+#   tools/check.sh --chaos    # fleet fault-domain smoke: run the
+#                             # chaos unit suite (fault injector,
+#                             # health monitor, reliable delivery),
+#                             # then the quick chaos soak (zero e2e
+#                             # loss, exact recovery accounting,
+#                             # chaos determinism; nonzero exit on
+#                             # any violation)
 #   TENGIG_SANITIZE=ON tools/check.sh
 #                             # ASan+UBSan build in a separate tree
 #   TENGIG_TSAN=ON tools/check.sh --fleet
@@ -202,6 +209,21 @@ if [ "${1:-}" = "--fleet" ]; then
     cmake --build "$build" -j"$(nproc)" --target test_fleet --target fleet
     "$build/tests/test_fleet"
     exec "$build/bench/fleet" --quick "--json=$build/BENCH_fleet.smoke.json"
+fi
+
+if [ "${1:-}" = "--chaos" ]; then
+    # Fleet fault-domain smoke: the unit suite first (fault-plan
+    # validation, deterministic/decorrelated fault streams, health
+    # monitoring, paced posting, small recovery runs), then the quick
+    # chaos soak, which asserts the storm/recovery contracts itself
+    # and exits nonzero on any violation.
+    cmake -B "$build" -S "$repo" -DTENGIG_SANITIZE="$sanitize" \
+        -DTENGIG_TSAN="$tsan"
+    cmake --build "$build" -j"$(nproc)" --target test_fleet_chaos \
+        --target fleet_chaos
+    "$build/tests/test_fleet_chaos"
+    exec "$build/bench/fleet_chaos" --quick \
+        "--json=$build/BENCH_fleet_chaos.smoke.json"
 fi
 
 ctest_args="--output-on-failure -j$(nproc)"
